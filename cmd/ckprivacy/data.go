@@ -1,0 +1,73 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"ckprivacy"
+)
+
+// dataFlags are the input-selection flags shared by several commands: read
+// an Adult-schema CSV, or generate a synthetic table.
+type dataFlags struct {
+	csv  string
+	n    int
+	seed int64
+}
+
+func (d *dataFlags) register(fs *flag.FlagSet) {
+	fs.StringVar(&d.csv, "csv", "", "Adult-schema CSV file to load (default: generate synthetic data)")
+	fs.IntVar(&d.n, "n", ckprivacy.AdultDefaultN, "synthetic tuple count")
+	fs.Int64Var(&d.seed, "seed", 1, "synthetic generator seed")
+}
+
+func (d *dataFlags) load() (*ckprivacy.Table, error) {
+	if d.csv == "" {
+		return ckprivacy.SyntheticAdult(ckprivacy.AdultConfig{N: d.n, Seed: d.seed})
+	}
+	f, err := os.Open(d.csv)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ckprivacy.ReadCSV(f, ckprivacy.AdultSchema())
+}
+
+// parseLevels parses "Age=3,MaritalStatus=2,Race=1,Sex=1" into Levels.
+func parseLevels(s string) (ckprivacy.Levels, error) {
+	levels := ckprivacy.Levels{}
+	if strings.TrimSpace(s) == "" {
+		return levels, nil
+	}
+	for _, part := range strings.Split(s, ",") {
+		kv := strings.SplitN(part, "=", 2)
+		if len(kv) != 2 {
+			return nil, fmt.Errorf("bad level %q (want Attr=level)", part)
+		}
+		lvl, err := strconv.Atoi(strings.TrimSpace(kv[1]))
+		if err != nil {
+			return nil, fmt.Errorf("bad level %q: %v", part, err)
+		}
+		levels[strings.TrimSpace(kv[0])] = lvl
+	}
+	return levels, nil
+}
+
+// parseKs parses "1,3,5" into a slice of ints.
+func parseKs(s string) ([]int, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		k, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("bad k %q: %v", part, err)
+		}
+		out = append(out, k)
+	}
+	return out, nil
+}

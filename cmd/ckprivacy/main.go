@@ -1,0 +1,70 @@
+// Command ckprivacy exposes the library's workflows:
+//
+//	ckprivacy gen      — generate the synthetic Adult dataset as CSV
+//	ckprivacy disclose — compute maximum disclosure of a generalization
+//	ckprivacy safe     — search for minimal (c,k)-safe generalizations
+//	ckprivacy fig5     — regenerate the paper's Figure 5
+//	ckprivacy fig6     — regenerate the paper's Figure 6
+//	ckprivacy example  — walk the paper's §1 worked example
+//
+// Run "ckprivacy <command> -h" for per-command flags.
+package main
+
+import (
+	"fmt"
+	"os"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "ckprivacy:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) == 0 {
+		usage()
+		return fmt.Errorf("missing command")
+	}
+	cmd, rest := args[0], args[1:]
+	switch cmd {
+	case "gen":
+		return cmdGen(rest)
+	case "disclose":
+		return cmdDisclose(rest)
+	case "risk":
+		return cmdRisk(rest)
+	case "estimate":
+		return cmdEstimate(rest)
+	case "safe":
+		return cmdSafe(rest)
+	case "fig5":
+		return cmdFig5(rest)
+	case "fig6":
+		return cmdFig6(rest)
+	case "example":
+		return cmdExample(rest)
+	case "-h", "--help", "help":
+		usage()
+		return nil
+	default:
+		usage()
+		return fmt.Errorf("unknown command %q", cmd)
+	}
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `usage: ckprivacy <command> [flags]
+
+commands:
+  gen       generate the synthetic Adult dataset as CSV
+  disclose  compute worst-case disclosure for a generalization
+  risk      per-(bucket, value) worst-case risk profile
+  estimate  Monte-Carlo posterior for a specific knowledge formula
+  safe      find minimal (c,k)-safe generalizations
+  fig5      regenerate Figure 5 (disclosure vs background knowledge)
+  fig6      regenerate Figure 6 (entropy vs disclosure)
+  example   walk the paper's worked example
+`)
+}

@@ -1,0 +1,36 @@
+// Package ckprivacy is a Go implementation of "Worst-Case Background
+// Knowledge for Privacy-Preserving Data Publishing" (Martin, Kifer,
+// Machanavajjhala, Gehrke, Halpern — ICDE 2007).
+//
+// The library answers two questions about bucketized (Anatomy-style)
+// data publishing:
+//
+//  1. Checking: given a bucketization B and a bound k on the attacker's
+//     background knowledge (k basic implications over the sensitive values,
+//     on top of full identification information), what is the worst-case
+//     probability the attacker can assign to any "person p has sensitive
+//     value s" fact? MaxDisclosure computes this in O(|B|·k³) time via the
+//     paper's MINIMIZE1/MINIMIZE2 dynamic programs, and Witness returns an
+//     explicit worst-case knowledge formula.
+//
+//  2. Enforcing: among all full-domain generalizations of a table, find the
+//     minimally sanitized ones whose maximum disclosure stays below a
+//     threshold c — the paper's (c,k)-safety — via monotone lattice search,
+//     binary search on chains (Theorem 14), or Incognito.
+//
+// Quick start:
+//
+//	bz := ckprivacy.FromValues(
+//		[]string{"flu", "flu", "lung", "lung", "mumps"},
+//		[]string{"flu", "flu", "breast", "ovarian", "heart"},
+//	)
+//	d, _ := ckprivacy.MaxDisclosure(bz, 1) // 2/3
+//
+// The packages under internal/ hold the implementation: internal/core (the
+// disclosure DP), internal/bucket, internal/hierarchy, internal/lattice,
+// internal/logic and internal/worlds (an exact, exponential-time
+// random-worlds oracle used to validate the DP), internal/privacy,
+// internal/anonymize, internal/dataset/adult (a synthetic stand-in for the
+// UCI Adult dataset) and internal/experiments (regenerates the paper's
+// figures). This package re-exports the supported API surface.
+package ckprivacy

@@ -1,0 +1,209 @@
+// Package anonymize ties the substrates together: given a table,
+// generalization hierarchies and a privacy criterion, it searches the
+// full-domain generalization lattice for minimally sanitized bucketizations
+// (§3.4 of the paper) via naive monotone search, Incognito, or chain binary
+// search, and ranks results by a utility metric.
+package anonymize
+
+import (
+	"fmt"
+	"sync"
+
+	"ckprivacy/internal/bucket"
+	"ckprivacy/internal/hierarchy"
+	"ckprivacy/internal/lattice"
+	"ckprivacy/internal/privacy"
+	"ckprivacy/internal/table"
+	"ckprivacy/internal/utility"
+)
+
+// Problem describes one anonymization task.
+type Problem struct {
+	Table       *table.Table
+	Hierarchies hierarchy.Set
+	// QI lists the quasi-identifier attribute names, fixing the lattice's
+	// dimension order.
+	QI []string
+
+	space lattice.Space
+
+	mu    sync.Mutex
+	cache map[string]*bucket.Bucketization
+}
+
+// NewProblem validates the inputs and precomputes the lattice shape.
+func NewProblem(t *table.Table, hs hierarchy.Set, qi []string) (*Problem, error) {
+	if t == nil || t.Len() == 0 {
+		return nil, fmt.Errorf("anonymize: empty table")
+	}
+	if len(qi) == 0 {
+		return nil, fmt.Errorf("anonymize: no quasi-identifiers")
+	}
+	for _, name := range qi {
+		col := t.Schema.Index(name)
+		if col < 0 {
+			return nil, fmt.Errorf("anonymize: attribute %q not in schema", name)
+		}
+		if col == t.Schema.SensitiveIndex {
+			return nil, fmt.Errorf("anonymize: sensitive attribute %q cannot be a quasi-identifier", name)
+		}
+	}
+	dims, err := hs.Dims(qi)
+	if err != nil {
+		return nil, fmt.Errorf("anonymize: %w", err)
+	}
+	space, err := lattice.NewSpace(dims)
+	if err != nil {
+		return nil, fmt.Errorf("anonymize: %w", err)
+	}
+	return &Problem{
+		Table:       t,
+		Hierarchies: hs,
+		QI:          append([]string(nil), qi...),
+		space:       space,
+		cache:       make(map[string]*bucket.Bucketization),
+	}, nil
+}
+
+// Space returns the full-domain generalization lattice.
+func (p *Problem) Space() lattice.Space { return p.space }
+
+// Bucketize materializes the bucketization at a lattice node. Attributes
+// outside the problem's QI list are fully ignored for grouping only if they
+// are not quasi-identifiers of the schema; schema QI attributes not listed
+// in p.QI are treated as suppressed.
+func (p *Problem) Bucketize(node lattice.Node) (*bucket.Bucketization, error) {
+	if !p.space.Contains(node) {
+		return nil, fmt.Errorf("anonymize: node %v outside lattice %v", node, p.space.Dims())
+	}
+	subset := make([]int, len(p.QI))
+	for i := range subset {
+		subset[i] = i
+	}
+	return p.BucketizeSubset(subset, node)
+}
+
+// BucketizeSubset materializes the bucketization induced by a subset of the
+// QI dimensions at the given (subset-aligned) levels; the remaining QI
+// attributes are fully suppressed. Incognito's subset lattices are checked
+// through this path.
+func (p *Problem) BucketizeSubset(subset []int, node lattice.Node) (*bucket.Bucketization, error) {
+	if len(subset) != len(node) {
+		return nil, fmt.Errorf("anonymize: subset/node length mismatch: %d vs %d", len(subset), len(node))
+	}
+	levels := bucket.Levels{}
+	for _, name := range p.QI {
+		h, ok := p.Hierarchies[name]
+		if !ok {
+			return nil, fmt.Errorf("anonymize: no hierarchy for %q", name)
+		}
+		levels[name] = h.Levels() - 1 // suppress by default
+	}
+	// Any schema QI attribute outside p.QI must also be neutralized;
+	// FromGeneralization groups by every non-sensitive attribute, so give
+	// them top-level suppression too when a hierarchy exists, and reject
+	// otherwise.
+	for _, col := range p.Table.Schema.QuasiIdentifiers() {
+		name := p.Table.Schema.Attrs[col].Name
+		if _, listed := levels[name]; listed {
+			continue
+		}
+		h, ok := p.Hierarchies[name]
+		if !ok {
+			return nil, fmt.Errorf("anonymize: schema attribute %q has no hierarchy and is not a listed QI", name)
+		}
+		levels[name] = h.Levels() - 1
+	}
+	for i, d := range subset {
+		if d < 0 || d >= len(p.QI) {
+			return nil, fmt.Errorf("anonymize: subset dimension %d out of range", d)
+		}
+		levels[p.QI[d]] = node[i]
+	}
+
+	key := cacheKey(subset, node)
+	p.mu.Lock()
+	if bz, ok := p.cache[key]; ok {
+		p.mu.Unlock()
+		return bz, nil
+	}
+	p.mu.Unlock()
+
+	bz, err := bucket.FromGeneralization(p.Table, p.Hierarchies, levels)
+	if err != nil {
+		return nil, err
+	}
+	p.mu.Lock()
+	p.cache[key] = bz
+	p.mu.Unlock()
+	return bz, nil
+}
+
+func cacheKey(subset []int, node lattice.Node) string {
+	return lattice.Node(subset).Key() + "/" + node.Key()
+}
+
+// Pred adapts a privacy criterion to a lattice predicate over full nodes.
+func (p *Problem) Pred(crit privacy.Criterion) lattice.Pred {
+	return func(n lattice.Node) (bool, error) {
+		bz, err := p.Bucketize(n)
+		if err != nil {
+			return false, err
+		}
+		return crit.Satisfied(bz)
+	}
+}
+
+// MinimalSafe returns all ⪯-minimal lattice nodes satisfying the criterion
+// using the generic bottom-up monotone search.
+func (p *Problem) MinimalSafe(crit privacy.Criterion) ([]lattice.Node, lattice.Stats, error) {
+	return lattice.MinimalSatisfying(p.space, p.Pred(crit))
+}
+
+// MinimalSafeIncognito returns the same minimal nodes via Incognito's
+// subset-pruned search.
+func (p *Problem) MinimalSafeIncognito(crit privacy.Criterion) ([]lattice.Node, lattice.Stats, error) {
+	check := func(subset []int, node lattice.Node) (bool, error) {
+		bz, err := p.BucketizeSubset(subset, node)
+		if err != nil {
+			return false, err
+		}
+		return crit.Satisfied(bz)
+	}
+	return lattice.Incognito(p.space, check)
+}
+
+// ChainSearch binary-searches the canonical chain from the most specific to
+// the fully generalized node (Theorem 14 makes the predicate monotone along
+// it) and returns the lowest safe node on that chain, or ok=false when even
+// the top node fails.
+func (p *Problem) ChainSearch(crit privacy.Criterion) (lattice.Node, bool, lattice.Stats, error) {
+	chain := p.space.Chain()
+	idx, stats, err := lattice.BinarySearchChain(chain, p.Pred(crit))
+	if err != nil {
+		return nil, false, stats, err
+	}
+	if idx < 0 {
+		return nil, false, stats, nil
+	}
+	return chain[idx], true, stats, nil
+}
+
+// BestByUtility materializes the candidate nodes and returns the index of
+// the one maximizing the metric (§3.4: pick the minimal safe bucketization
+// with the highest utility), together with its bucketization.
+func (p *Problem) BestByUtility(nodes []lattice.Node, m utility.Metric) (int, *bucket.Bucketization, error) {
+	if len(nodes) == 0 {
+		return -1, nil, fmt.Errorf("anonymize: no candidate nodes")
+	}
+	bzs := make([]*bucket.Bucketization, len(nodes))
+	for i, n := range nodes {
+		bz, err := p.Bucketize(n)
+		if err != nil {
+			return -1, nil, err
+		}
+		bzs[i] = bz
+	}
+	best := utility.Best(m, bzs)
+	return best, bzs[best], nil
+}

@@ -1,0 +1,268 @@
+// Package bucket implements bucketization, the sanitization method the paper
+// analyzes (equivalently, Anatomy-style publishing): tuples are partitioned
+// into buckets and the sensitive values are randomly permuted within each
+// bucket. Under the random-worlds assumption, all privacy-relevant state of
+// a bucket is its sensitive-value histogram, which this package maintains in
+// decreasing-frequency order (the s⁰_b, s¹_b, ... of the paper).
+package bucket
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+
+	"ckprivacy/internal/hierarchy"
+	"ckprivacy/internal/table"
+)
+
+// Bucket is one block of the partition.
+type Bucket struct {
+	// Key identifies the bucket, e.g. the generalized quasi-identifier
+	// signature that formed it.
+	Key string
+	// Tuples lists the row indices (person identities) in the bucket.
+	Tuples []int
+
+	counts map[string]int
+	freq   []table.ValueCount // decreasing count, ties by value
+	prefix []int              // prefix[j] = sum of top-j counts
+}
+
+// newBucket finalizes a bucket's derived state from its counts.
+func newBucket(key string, tuples []int, counts map[string]int) *Bucket {
+	b := &Bucket{Key: key, Tuples: tuples, counts: counts}
+	b.freq = table.SortCounts(counts)
+	b.prefix = make([]int, len(b.freq)+1)
+	for i, vc := range b.freq {
+		b.prefix[i+1] = b.prefix[i] + vc.Count
+	}
+	return b
+}
+
+// Size returns n_b, the number of tuples in the bucket.
+func (b *Bucket) Size() int { return len(b.Tuples) }
+
+// Count returns n_b(s), the multiplicity of sensitive value s.
+func (b *Bucket) Count(s string) int { return b.counts[s] }
+
+// Freq returns the value counts in decreasing order (s⁰_b first). The
+// returned slice must not be modified.
+func (b *Bucket) Freq() []table.ValueCount { return b.freq }
+
+// Distinct returns the number of distinct sensitive values.
+func (b *Bucket) Distinct() int { return len(b.freq) }
+
+// TopValue returns s⁰_b, the most frequent sensitive value.
+func (b *Bucket) TopValue() string { return b.freq[0].Value }
+
+// TopCount returns n_b(s⁰_b).
+func (b *Bucket) TopCount() int { return b.freq[0].Count }
+
+// PrefixSum returns the total count of the j most frequent values
+// (j may exceed the number of distinct values, in which case the full size
+// is returned).
+func (b *Bucket) PrefixSum(j int) int {
+	if j >= len(b.prefix) {
+		return b.prefix[len(b.prefix)-1]
+	}
+	return b.prefix[j]
+}
+
+// Histogram returns the counts in decreasing order. The DP in
+// internal/core depends only on this.
+func (b *Bucket) Histogram() []int {
+	h := make([]int, len(b.freq))
+	for i, vc := range b.freq {
+		h[i] = vc.Count
+	}
+	return h
+}
+
+// Signature returns a canonical string form of the histogram, used to share
+// memoized DP tables between buckets with identical histograms.
+func (b *Bucket) Signature() string {
+	var sb strings.Builder
+	for i, vc := range b.freq {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(strconv.Itoa(vc.Count))
+	}
+	return sb.String()
+}
+
+// Bucketization is a partition of a table's tuples into buckets.
+type Bucketization struct {
+	// Buckets holds the blocks in deterministic (key) order.
+	Buckets []*Bucket
+	// Source optionally references the table the bucketization was built
+	// from; it is required by Publish and by the logic/worlds bridges.
+	Source *table.Table
+}
+
+// FromValues builds a bucketization directly from per-bucket sensitive-value
+// multisets, with synthetic person identities 0..n-1 assigned in order. It
+// is the main constructor for tests and small worked examples.
+func FromValues(groups ...[]string) *Bucketization {
+	bz := &Bucketization{}
+	next := 0
+	for gi, g := range groups {
+		counts := make(map[string]int, len(g))
+		tuples := make([]int, len(g))
+		for i, s := range g {
+			counts[s]++
+			tuples[i] = next
+			next++
+		}
+		bz.Buckets = append(bz.Buckets, newBucket(fmt.Sprintf("b%d", gi), tuples, counts))
+	}
+	return bz
+}
+
+// Levels assigns a generalization level to each quasi-identifier by name.
+type Levels map[string]int
+
+// FromGeneralization partitions t by the generalized values of its
+// quasi-identifiers: two tuples share a bucket iff they agree on every QI
+// attribute after generalization to the given level. Attributes absent from
+// levels default to level 0 (no generalization). This realizes the paper's
+// equivalence of full-domain generalization and bucketization under full
+// identification information.
+func FromGeneralization(t *table.Table, hs hierarchy.Set, levels Levels) (*Bucketization, error) {
+	qi := t.Schema.QuasiIdentifiers()
+	type group struct {
+		tuples []int
+		counts map[string]int
+	}
+	groups := make(map[string]*group)
+	var keyParts []string
+	for row := 0; row < t.Len(); row++ {
+		keyParts = keyParts[:0]
+		for _, col := range qi {
+			name := t.Schema.Attrs[col].Name
+			lvl := levels[name]
+			val := t.Value(row, col)
+			if lvl != 0 {
+				h, ok := hs[name]
+				if !ok {
+					return nil, fmt.Errorf("bucket: no hierarchy for attribute %q", name)
+				}
+				g, err := h.Generalize(val, lvl)
+				if err != nil {
+					return nil, fmt.Errorf("bucket: row %d: %w", row, err)
+				}
+				val = g
+			}
+			keyParts = append(keyParts, val)
+		}
+		key := strings.Join(keyParts, "|")
+		g, ok := groups[key]
+		if !ok {
+			g = &group{counts: make(map[string]int)}
+			groups[key] = g
+		}
+		g.tuples = append(g.tuples, row)
+		g.counts[t.SensitiveValue(row)]++
+	}
+
+	keys := make([]string, 0, len(groups))
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	bz := &Bucketization{Source: t}
+	for _, k := range keys {
+		g := groups[k]
+		bz.Buckets = append(bz.Buckets, newBucket(k, g.tuples, g.counts))
+	}
+	return bz, nil
+}
+
+// Merge returns a new bucketization with buckets i and j merged (a single
+// step up the paper's ⪯ partial order). The source table, if any, carries
+// over.
+func (bz *Bucketization) Merge(i, j int) (*Bucketization, error) {
+	if i == j || i < 0 || j < 0 || i >= len(bz.Buckets) || j >= len(bz.Buckets) {
+		return nil, fmt.Errorf("bucket: cannot merge buckets %d and %d of %d", i, j, len(bz.Buckets))
+	}
+	if j < i {
+		i, j = j, i
+	}
+	out := &Bucketization{Source: bz.Source}
+	for k, b := range bz.Buckets {
+		if k == j {
+			continue
+		}
+		if k != i {
+			out.Buckets = append(out.Buckets, b)
+			continue
+		}
+		a, c := bz.Buckets[i], bz.Buckets[j]
+		counts := make(map[string]int, len(a.counts)+len(c.counts))
+		for v, n := range a.counts {
+			counts[v] += n
+		}
+		for v, n := range c.counts {
+			counts[v] += n
+		}
+		tuples := make([]int, 0, len(a.Tuples)+len(c.Tuples))
+		tuples = append(tuples, a.Tuples...)
+		tuples = append(tuples, c.Tuples...)
+		out.Buckets = append(out.Buckets, newBucket(a.Key+"+"+c.Key, tuples, counts))
+	}
+	return out, nil
+}
+
+// Size returns the total number of tuples across all buckets.
+func (bz *Bucketization) Size() int {
+	n := 0
+	for _, b := range bz.Buckets {
+		n += b.Size()
+	}
+	return n
+}
+
+// BucketOf returns the index of the bucket containing tuple (person) id, or
+// -1 if absent.
+func (bz *Bucketization) BucketOf(id int) int {
+	for i, b := range bz.Buckets {
+		for _, t := range b.Tuples {
+			if t == id {
+				return i
+			}
+		}
+	}
+	return -1
+}
+
+// Publish materializes the sanitized release: for each bucket, the tuples'
+// non-sensitive attributes together with an independently random permutation
+// of the bucket's sensitive values (the paper's Figure 3 form). The first
+// output column is the bucket key. Publish requires a Source table.
+func (bz *Bucketization) Publish(rng *rand.Rand) ([][]string, error) {
+	if bz.Source == nil {
+		return nil, fmt.Errorf("bucket: Publish needs a source table")
+	}
+	t := bz.Source
+	qi := t.Schema.QuasiIdentifiers()
+	var out [][]string
+	for _, b := range bz.Buckets {
+		vals := make([]string, 0, b.Size())
+		for _, id := range b.Tuples {
+			vals = append(vals, t.SensitiveValue(id))
+		}
+		rng.Shuffle(len(vals), func(i, j int) { vals[i], vals[j] = vals[j], vals[i] })
+		for i, id := range b.Tuples {
+			row := make([]string, 0, len(qi)+2)
+			row = append(row, b.Key)
+			for _, col := range qi {
+				row = append(row, t.Value(id, col))
+			}
+			row = append(row, vals[i])
+			out = append(out, row)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,69 @@
+package bucket
+
+import "math"
+
+// Entropy returns the Shannon entropy (in nats) of the bucket's
+// sensitive-value distribution. The paper's Figure 6 x-axis is the minimum
+// of this quantity over all buckets.
+func (b *Bucket) Entropy() float64 {
+	n := float64(b.Size())
+	if n == 0 {
+		return 0
+	}
+	h := 0.0
+	for _, vc := range b.freq {
+		p := float64(vc.Count) / n
+		h -= p * math.Log(p)
+	}
+	return h
+}
+
+// MinEntropy returns the minimum bucket entropy over the bucketization.
+func (bz *Bucketization) MinEntropy() float64 {
+	min := math.Inf(1)
+	for _, b := range bz.Buckets {
+		if h := b.Entropy(); h < min {
+			min = h
+		}
+	}
+	if math.IsInf(min, 1) {
+		return 0
+	}
+	return min
+}
+
+// MinSize returns the smallest bucket size (the k of k-anonymity).
+func (bz *Bucketization) MinSize() int {
+	min := 0
+	for i, b := range bz.Buckets {
+		if i == 0 || b.Size() < min {
+			min = b.Size()
+		}
+	}
+	return min
+}
+
+// MinDistinct returns the smallest number of distinct sensitive values in
+// any bucket (the l of distinct l-diversity).
+func (bz *Bucketization) MinDistinct() int {
+	min := 0
+	for i, b := range bz.Buckets {
+		if i == 0 || b.Distinct() < min {
+			min = b.Distinct()
+		}
+	}
+	return min
+}
+
+// MaxTopFraction returns max_b n_b(s⁰_b)/n_b, the k=0 maximum disclosure
+// (random-worlds baseline with no background knowledge).
+func (bz *Bucketization) MaxTopFraction() float64 {
+	max := 0.0
+	for _, b := range bz.Buckets {
+		f := float64(b.TopCount()) / float64(b.Size())
+		if f > max {
+			max = f
+		}
+	}
+	return max
+}

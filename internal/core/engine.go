@@ -1,0 +1,84 @@
+package core
+
+import (
+	"sync"
+
+	"ckprivacy/internal/bucket"
+)
+
+// Engine computes maximum disclosure, memoizing MINIMIZE1 tables by bucket
+// histogram. Buckets with equal sensitive-value histograms share all DP
+// state, and the cache persists across calls, implementing the paper's
+// §3.3.3 remark about incremental recomputation when bucketizations share
+// buckets (as the Figure 6 sweep over 72 generalizations heavily does).
+//
+// An Engine is safe for concurrent use.
+type Engine struct {
+	mu   sync.Mutex
+	memo map[string]map[int]m1Entry
+}
+
+// NewEngine returns an empty engine.
+func NewEngine() *Engine {
+	return &Engine{memo: make(map[string]map[int]m1Entry)}
+}
+
+// m1 returns the memoized MINIMIZE1 entry for a bucket signature.
+func (e *Engine) m1(sig string, hist []int, j int) m1Entry {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	byJ, ok := e.memo[sig]
+	if !ok {
+		byJ = make(map[int]m1Entry)
+		e.memo[sig] = byJ
+	}
+	entry, ok := byJ[j]
+	if !ok {
+		entry = m1Compute(hist, j)
+		byJ[j] = entry
+	}
+	return entry
+}
+
+// CacheSize reports the number of distinct (histogram, atom-count) entries
+// memoized; exposed for the cache ablation benchmark.
+func (e *Engine) CacheSize() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	n := 0
+	for _, byJ := range e.memo {
+		n += len(byJ)
+	}
+	return n
+}
+
+// Reset drops all memoized state.
+func (e *Engine) Reset() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.memo = make(map[string]map[int]m1Entry)
+}
+
+// bucketView caches per-run bucket state (signature, histogram) so the DP
+// does not rebuild strings in its inner loop.
+type bucketView struct {
+	sig  string
+	hist []int
+	n    int
+	top  int
+	b    *bucket.Bucket
+}
+
+func makeViews(bz *bucket.Bucketization) []bucketView {
+	views := make([]bucketView, len(bz.Buckets))
+	for i, b := range bz.Buckets {
+		views[i] = bucketView{
+			sig:  b.Signature(),
+			hist: b.Histogram(),
+			n:    b.Size(),
+			top:  b.TopCount(),
+			b:    b,
+		}
+	}
+	return views
+}

@@ -1,0 +1,110 @@
+// Package core implements the paper's primary contribution: the
+// polynomial-time computation of worst-case disclosure against an attacker
+// holding full identification information plus k basic implications
+// (language L^k_basic), and the resulting (c,k)-safety check.
+//
+// By Theorem 9, the maximum of Pr(t_p[S]=s | B ∧ φ) over φ ∈ L^k_basic is
+// attained by k simple implications sharing one consequent atom A. Writing
+// the posterior as
+//
+//	Pr(A | B ∧ ∧_i(A_i → A)) = 1 / (1 + Pr(¬A ∧ ∧_i ¬A_i | B)/Pr(A | B))
+//
+// the problem reduces to minimizing Formula (1),
+// Pr(¬A ∧ ∧_i ¬A_i | B) / Pr(A | B), over atoms A, A_i. MINIMIZE1
+// (this file) minimizes Pr(∧ ¬A_i | B) for atoms within one bucket;
+// MINIMIZE2 (minimize2.go) combines buckets and places A. Total cost is
+// O(|B|·k³) as in §3.3 of the paper.
+package core
+
+import "math"
+
+// m1Key indexes MINIMIZE1's dynamic-programming states: person index i,
+// upper bound cap on this person's atom count (the paper's k̂ᵢ, enforcing
+// descending compositions), and rem atoms still to place (the paper's k̂).
+type m1Key struct{ i, cap, rem int }
+
+// m1Entry is a memoized MINIMIZE1 result for one histogram and atom count.
+type m1Entry struct {
+	val float64
+	// comp is the minimizing descending composition: comp[i] atoms are
+	// assigned to the i-th (distinct) person, who avoids the comp[i] most
+	// frequent values. Its sum can fall short of the requested atom count
+	// when atoms are wasted as duplicates (more persons than the bucket
+	// holds, or more values than the bucket distinguishes).
+	comp []int
+}
+
+// m1Compute evaluates MINIMIZE1 for a histogram (counts in decreasing
+// order) and exactly j atoms, returning the minimal probability
+// Pr(∧_{i<j} ¬A_i | B) restricted to atoms naming persons of this bucket,
+// together with a minimizing composition.
+//
+// Lemma 12 gives the value of a fixed composition (l, k_0 ≥ … ≥ k_{l-1}):
+//
+//	∏_{i<l} (n − i − Σ_{j<k_i} n(s^j)) / (n − i)
+//
+// and the DP minimizes over compositions. Two guards absent from the
+// paper's pseudocode: the numerator clamps at zero (a person cannot avoid
+// more mass than remains), and once all n persons carry an atom the
+// remaining atoms are duplicates contributing factor 1.
+func m1Compute(hist []int, j int) m1Entry {
+	n := 0
+	prefix := make([]int, len(hist)+1)
+	for i, c := range hist {
+		n += c
+		prefix[i+1] = prefix[i] + c
+	}
+	if j == 0 {
+		return m1Entry{val: 1}
+	}
+
+	factor := func(i, ki int) float64 {
+		pf := prefix[len(prefix)-1]
+		if ki < len(prefix)-1 {
+			pf = prefix[ki]
+		}
+		num := n - i - pf
+		if num <= 0 {
+			return 0
+		}
+		return float64(num) / float64(n-i)
+	}
+
+	memo := make(map[m1Key]float64)
+	choice := make(map[m1Key]int)
+	var rec func(i, cap, rem int) float64
+	rec = func(i, cap, rem int) float64 {
+		if rem == 0 || i >= n {
+			// rem > 0 with all persons used: duplicates, factor 1.
+			return 1
+		}
+		key := m1Key{i, cap, rem}
+		if v, ok := memo[key]; ok {
+			return v
+		}
+		best := math.Inf(1)
+		bestKi := 1
+		maxKi := cap
+		if rem < maxKi {
+			maxKi = rem
+		}
+		for ki := 1; ki <= maxKi; ki++ {
+			p := factor(i, ki) * rec(i+1, ki, rem-ki)
+			if p < best {
+				best, bestKi = p, ki
+			}
+		}
+		memo[key] = best
+		choice[key] = bestKi
+		return best
+	}
+	val := rec(0, j, j)
+
+	var comp []int
+	for i, cap, rem := 0, j, j; rem > 0 && i < n; {
+		ki := choice[m1Key{i, cap, rem}]
+		comp = append(comp, ki)
+		i, cap, rem = i+1, ki, rem-ki
+	}
+	return m1Entry{val: val, comp: comp}
+}

@@ -1,0 +1,168 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"ckprivacy/internal/bucket"
+)
+
+// Options tunes the disclosure computation.
+type Options struct {
+	// ForbidSameBucketAntecedent restricts the adversary's implications to
+	// antecedent atoms in buckets other than the consequent's bucket. The
+	// unrestricted maximum (the paper's actual definition) is computed when
+	// false. The restriction exists to reproduce the paper's §2.3 worked
+	// example, whose quoted 10/19 is the cross-bucket maximum — see
+	// DESIGN.md §6.
+	ForbidSameBucketAntecedent bool
+}
+
+// m2state is one MINIMIZE2 DP state: bucket index, antecedent atoms left to
+// place, and whether the consequent atom A has been placed already.
+type m2choice struct {
+	cnt       int  // antecedent atoms placed in this bucket
+	placeHere bool // whether A is placed in this bucket
+	valid     bool
+}
+
+// minimize2 minimizes Formula (1) over all placements of the k antecedent
+// atoms and the consequent atom A across buckets, returning the minimum and
+// the DP choice tables for witness reconstruction.
+//
+// Against the paper's Algorithm 2 pseudocode, two typos are corrected (see
+// DESIGN.md §4): the base case returns 1 on success (not the initialized
+// rmin = ∞), and the initial "A already placed" flag is false.
+func (e *Engine) minimize2(views []bucketView, k int, opt Options) (float64, [][][2]m2choice) {
+	nb := len(views)
+	val := make([][][2]float64, nb+1)
+	choice := make([][][2]m2choice, nb+1)
+	for i := range val {
+		val[i] = make([][2]float64, k+1)
+		choice[i] = make([][2]m2choice, k+1)
+		for h := range val[i] {
+			val[i][h] = [2]float64{math.NaN(), math.NaN()}
+		}
+	}
+	var rec func(i, h int, placed bool) float64
+	rec = func(i, h int, placed bool) float64 {
+		pi := 0
+		if placed {
+			pi = 1
+		}
+		if i == nb {
+			if placed {
+				// Any unplaced antecedent atoms are spent on tautologies,
+				// which impose no constraint (factor 1).
+				return 1
+			}
+			return math.Inf(1)
+		}
+		if v := val[i][h][pi]; !math.IsNaN(v) {
+			return v
+		}
+		v := views[i]
+		ratio := float64(v.n) / float64(v.top)
+		best := math.Inf(1)
+		var bestChoice m2choice
+		for cnt := 0; cnt <= h; cnt++ {
+			u := e.m1(v.sig, v.hist, cnt).val
+			// Option 1: A is not in this bucket.
+			if cand := u * rec(i+1, h-cnt, placed); cand < best {
+				best = cand
+				bestChoice = m2choice{cnt: cnt, placeHere: false, valid: true}
+			}
+			// Option 2: A is in this bucket (with cnt local antecedents).
+			if !placed && (!opt.ForbidSameBucketAntecedent || cnt == 0) {
+				w := e.m1(v.sig, v.hist, cnt+1).val * ratio
+				if cand := w * rec(i+1, h-cnt, true); cand < best {
+					best = cand
+					bestChoice = m2choice{cnt: cnt, placeHere: true, valid: true}
+				}
+			}
+		}
+		val[i][h][pi] = best
+		choice[i][h][pi] = bestChoice
+		return best
+	}
+	return rec(0, k, false), choice
+}
+
+// MaxDisclosure computes the maximum disclosure of the bucketization with
+// respect to L^k_basic (Definition 6) in O(|B|·k³) time.
+func (e *Engine) MaxDisclosure(bz *bucket.Bucketization, k int) (float64, error) {
+	return e.MaxDisclosureOpt(bz, k, Options{})
+}
+
+// MaxDisclosureOpt is MaxDisclosure with Options.
+func (e *Engine) MaxDisclosureOpt(bz *bucket.Bucketization, k int, opt Options) (float64, error) {
+	if err := checkArgs(bz, k); err != nil {
+		return 0, err
+	}
+	rmin, _ := e.minimize2(makeViews(bz), k, opt)
+	return disclosureFromRatio(rmin), nil
+}
+
+// disclosureFromRatio converts min Formula (1) to the maximum disclosure
+// 1/(1 + r).
+func disclosureFromRatio(r float64) float64 {
+	if math.IsInf(r, 1) {
+		// No valid placement (possible only under restrictive Options);
+		// the adversary learns nothing beyond the k=0 baseline, which the
+		// caller gets by placing A alone — this branch is unreachable for
+		// non-empty bucketizations because cnt=0 placements always exist.
+		return 0
+	}
+	return 1 / (1 + r)
+}
+
+func checkArgs(bz *bucket.Bucketization, k int) error {
+	if bz == nil || len(bz.Buckets) == 0 {
+		return fmt.Errorf("core: empty bucketization")
+	}
+	if k < 0 {
+		return fmt.Errorf("core: negative knowledge bound k = %d", k)
+	}
+	for i, b := range bz.Buckets {
+		if b.Size() == 0 {
+			return fmt.Errorf("core: bucket %d is empty", i)
+		}
+	}
+	return nil
+}
+
+// MaxDisclosure is a convenience wrapper using a throwaway engine.
+func MaxDisclosure(bz *bucket.Bucketization, k int) (float64, error) {
+	return NewEngine().MaxDisclosure(bz, k)
+}
+
+// Series computes the maximum disclosure for every k in 0..maxK, sharing
+// the engine's memo across the sweep (the Figure 5 workload).
+func (e *Engine) Series(bz *bucket.Bucketization, maxK int) ([]float64, error) {
+	if err := checkArgs(bz, maxK); err != nil {
+		return nil, err
+	}
+	views := makeViews(bz)
+	out := make([]float64, maxK+1)
+	for k := 0; k <= maxK; k++ {
+		rmin, _ := e.minimize2(views, k, Options{})
+		out[k] = disclosureFromRatio(rmin)
+	}
+	return out, nil
+}
+
+// IsCKSafe reports whether the bucketization is (c,k)-safe (Definition 13):
+// maximum disclosure with respect to L^k_basic strictly below the threshold
+// c. The comparison is a strict float64 inequality; thresholds within
+// round-off (~1e-15 relative) of the true maximum may be classified either
+// way.
+func (e *Engine) IsCKSafe(bz *bucket.Bucketization, c float64, k int) (bool, error) {
+	if c < 0 || c > 1 {
+		return false, fmt.Errorf("core: threshold c = %v outside [0, 1]", c)
+	}
+	d, err := e.MaxDisclosure(bz, k)
+	if err != nil {
+		return false, err
+	}
+	return d < c, nil
+}

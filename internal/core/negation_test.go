@@ -1,0 +1,215 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"ckprivacy/internal/bucket"
+	"ckprivacy/internal/worlds"
+)
+
+func TestNegationHandValues(t *testing.T) {
+	cases := []struct {
+		groups [][]string
+		k      int
+		want   float64
+	}{
+		// Figure 3, male bucket dominates: k=0 baseline 2/5.
+		{figure3Groups, 0, 2.0 / 5},
+		// ¬lung leaves flu at 2/3.
+		{figure3Groups, 1, 2.0 / 3},
+		// ¬lung ∧ ¬mumps pins flu.
+		{figure3Groups, 2, 1.0},
+		// Uniform bucket: each negation removes one candidate.
+		{[][]string{{"a", "b", "c", "d"}}, 1, 1.0 / 3},
+		{[][]string{{"a", "b", "c", "d"}}, 2, 1.0 / 2},
+		{[][]string{{"a", "b", "c", "d"}}, 3, 1.0},
+		// Skewed bucket {a,a,a,b,c}: best is target a, negate b: 3/4.
+		{[][]string{{"a", "a", "a", "b", "c"}}, 1, 3.0 / 4},
+		// k beyond distinct-1 stays 1.
+		{[][]string{{"a", "b"}}, 5, 1.0},
+	}
+	for _, c := range cases {
+		got, err := NegationMaxDisclosure(bucket.FromValues(c.groups...), c.k)
+		if err != nil {
+			t.Fatalf("%v k=%d: %v", c.groups, c.k, err)
+		}
+		if math.Abs(got-c.want) > eps {
+			t.Errorf("NegationMaxDisclosure(%v, %d) = %v, want %v", c.groups, c.k, got, c.want)
+		}
+	}
+}
+
+func TestNegationTargetNeedNotBeTopValue(t *testing.T) {
+	// {a,a,a,a,b,b,b}: with k=1, target b and negate a: 3/3 = 1 beats
+	// target a negate b: 4/4 = 1 — tie here, so sharpen: {a,a,a,b,b,c}:
+	// target a, ¬b: 3/(6-2) = 3/4; target b, ¬a: 2/(6-3) = 2/3. Top value
+	// wins. Now {a,a,b,b,b,c? } — construct a case where the second value
+	// wins: {a,a,a,b,b,b,c}: a with ¬b: 3/4; b with ¬a: 3/4 — symmetric.
+	// The scan over all (bucket, value) pairs is what matters; check it
+	// against brute force below. Here, just check a two-bucket case where
+	// the best bucket is not the first.
+	bz := bucket.FromValues([]string{"a", "b", "c"}, []string{"x", "x", "y"})
+	got, err := NegationMaxDisclosure(bz, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-1.0) > eps { // bucket 2: target x, negate y: 2/2
+		t.Errorf("got %v, want 1", got)
+	}
+}
+
+// TestNegationMatchesOracle validates the closed form against the
+// brute-force search over all k-subsets of negated atoms — including atoms
+// about persons other than the target, which the closed form does not use.
+func TestNegationMatchesOracle(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exponential oracle")
+	}
+	checked := 0
+	f := func(raw []byte, kRaw uint8) bool {
+		groups := groupsFromRaw(raw)
+		if groups == nil {
+			return true
+		}
+		k := 1 + int(kRaw)%2
+		bz := bucket.FromValues(groups...)
+		closed, err := NegationMaxDisclosure(bz, k)
+		if err != nil {
+			return false
+		}
+		in := asInstance(t, groups)
+		res, err := in.MaxDisclosureNegations(k, worlds.BruteOptions{})
+		if err != nil {
+			return false
+		}
+		checked++
+		if math.Abs(closed-ratFloat(res.Prob)) > eps {
+			t.Logf("groups=%v k=%d closed=%v oracle=%s phi=%v",
+				groups, k, closed, res.Prob.RatString(), res.Phi)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+	if checked < 40 {
+		t.Fatalf("only %d effective comparisons", checked)
+	}
+}
+
+// TestNegationBelowImplication property-checks the paper's Figure 5
+// ordering: negated atoms are a sublanguage of basic implications, so their
+// worst case never exceeds the implication worst case.
+func TestNegationBelowImplication(t *testing.T) {
+	e := NewEngine()
+	f := func(raw []byte, kRaw uint8) bool {
+		groups := groupsFromRaw(raw)
+		if groups == nil {
+			return true
+		}
+		k := int(kRaw) % 6
+		bz := bucket.FromValues(groups...)
+		neg, err1 := NegationMaxDisclosure(bz, k)
+		imp, err2 := e.MaxDisclosure(bz, k)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return neg <= imp+eps
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNegationSeriesMonotone(t *testing.T) {
+	series, err := NegationSeries(fig3(), 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 7 {
+		t.Fatalf("series length %d", len(series))
+	}
+	for k := 1; k < len(series); k++ {
+		if series[k] < series[k-1]-eps {
+			t.Errorf("negation series not monotone: %v", series)
+		}
+	}
+	if series[0] != 2.0/5 || series[2] != 1 {
+		t.Errorf("series endpoints wrong: %v", series)
+	}
+}
+
+func TestNegationWitness(t *testing.T) {
+	w, err := NegationWitnessFor(fig3(), 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(w.Disclosure-2.0/3) > eps {
+		t.Errorf("disclosure = %v, want 2/3", w.Disclosure)
+	}
+	if w.Target.Value != "flu" || len(w.Negated) != 1 {
+		t.Errorf("witness = %+v", w)
+	}
+	if w.Negated[0].Person != w.Target.Person {
+		t.Error("negation witness must be target-centered")
+	}
+	if w.Negated[0].Value == w.Target.Value {
+		t.Error("negated value equals target value")
+	}
+	// The encoded formula achieves the claimed probability exactly.
+	in := asInstance(t, figure3Groups)
+	phi, err := w.Phi(in.Domain())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := in.CondProb(w.Target, phi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(w.Disclosure-ratFloat(p)) > eps {
+		t.Errorf("witness claims %v, oracle %s", w.Disclosure, p.RatString())
+	}
+}
+
+// TestNegationWitnessAchieves property-checks witness probabilities against
+// the oracle.
+func TestNegationWitnessAchieves(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exact oracle")
+	}
+	f := func(raw []byte, kRaw uint8) bool {
+		groups := groupsFromRaw(raw)
+		if groups == nil {
+			return true
+		}
+		k := int(kRaw) % 3
+		bz := bucket.FromValues(groups...)
+		w, err := NegationWitnessFor(bz, k, nil)
+		if err != nil {
+			return false
+		}
+		if len(w.Negated) > k {
+			return false
+		}
+		in := asInstance(t, groups)
+		dom := in.Domain()
+		if len(dom) < 2 {
+			return true // negations need two values to encode
+		}
+		phi, err := w.Phi(dom)
+		if err != nil {
+			return false
+		}
+		p, err := in.CondProb(w.Target, phi)
+		if err != nil {
+			return false
+		}
+		return math.Abs(w.Disclosure-ratFloat(p)) < eps
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

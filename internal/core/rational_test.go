@@ -1,0 +1,194 @@
+package core
+
+import (
+	"math"
+	"math/big"
+	"testing"
+	"testing/quick"
+
+	"ckprivacy/internal/bucket"
+	"ckprivacy/internal/worlds"
+)
+
+// TestExactMatchesOracleExactly asserts *rational equality* — no tolerance
+// at all — between the exact DP and the exponential oracle on random small
+// instances. This is the strongest correctness statement in the package.
+func TestExactMatchesOracleExactly(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exponential oracle")
+	}
+	e := NewEngine()
+	checked := 0
+	f := func(raw []byte, kRaw uint8) bool {
+		groups := groupsFromRaw(raw)
+		if groups == nil {
+			return true
+		}
+		k := int(kRaw) % 3
+		bz := bucket.FromValues(groups...)
+		dp, err := e.ExactMaxDisclosure(bz, k)
+		if err != nil {
+			return false
+		}
+		in := asInstance(t, groups)
+		res, err := in.MaxDisclosureCommonConsequent(k, worlds.BruteOptions{})
+		if err != nil {
+			return false
+		}
+		checked++
+		if dp.Cmp(res.Prob) != 0 {
+			t.Logf("groups=%v k=%d dp=%s oracle=%s", groups, k, dp.RatString(), res.Prob.RatString())
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+	if checked < 30 {
+		t.Fatalf("only %d effective comparisons", checked)
+	}
+}
+
+// TestExactMatchesFloat keeps the fast float path honest against the exact
+// path on larger random instances and ks.
+func TestExactMatchesFloat(t *testing.T) {
+	e := NewEngine()
+	f := func(raw []byte, kRaw uint8) bool {
+		groups := groupsFromRaw(raw)
+		if groups == nil {
+			return true
+		}
+		k := int(kRaw) % 6
+		bz := bucket.FromValues(groups...)
+		exact, err1 := e.ExactMaxDisclosure(bz, k)
+		fl, err2 := e.MaxDisclosure(bz, k)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		ex, _ := exact.Float64()
+		return math.Abs(ex-fl) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExactHandValues(t *testing.T) {
+	e := NewEngine()
+	bz := fig3()
+	cases := []struct {
+		k        int
+		num, den int64
+	}{
+		{0, 2, 5},
+		{1, 2, 3},
+		{2, 1, 1},
+	}
+	for _, c := range cases {
+		got, err := e.ExactMaxDisclosure(bz, c.k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Cmp(big.NewRat(c.num, c.den)) != 0 {
+			t.Errorf("k=%d: %s, want %d/%d", c.k, got.RatString(), c.num, c.den)
+		}
+	}
+	cross, err := e.ExactMaxDisclosureOpt(bz, 1, Options{ForbidSameBucketAntecedent: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cross.Cmp(big.NewRat(10, 19)) != 0 {
+		t.Errorf("cross-bucket = %s, want 10/19", cross.RatString())
+	}
+}
+
+// TestIsCKSafeExactBoundary exercises the strict threshold exactly at the
+// maximum — the case the float path cannot decide reliably.
+func TestIsCKSafeExactBoundary(t *testing.T) {
+	e := NewEngine()
+	bz := fig3() // exact max at k=1 is 2/3
+	safe, err := e.IsCKSafeExact(bz, big.NewRat(2, 3), 1)
+	if err != nil || safe {
+		t.Errorf("c=2/3 exactly: safe=%v err=%v, want unsafe (strict)", safe, err)
+	}
+	safe, err = e.IsCKSafeExact(bz, big.NewRat(2000001, 3000000), 1)
+	if err != nil || !safe {
+		t.Errorf("c=2/3+ε: safe=%v err=%v, want safe", safe, err)
+	}
+	if _, err := e.IsCKSafeExact(bz, nil, 1); err == nil {
+		t.Error("nil threshold accepted")
+	}
+	if _, err := e.IsCKSafeExact(bz, big.NewRat(3, 2), 1); err == nil {
+		t.Error("threshold > 1 accepted")
+	}
+	if _, err := e.IsCKSafeExact(nil, big.NewRat(1, 2), 1); err == nil {
+		t.Error("nil bucketization accepted")
+	}
+}
+
+// TestExactResolvesFloatBoundary reconstructs the ill-conditioned instance
+// found during development (histograms {9,7,2,2} and {6,5,5,4}, threshold
+// 9/20): the float implication path computes 0.44999999999999996 while the
+// true maximum is exactly 9/20, so the float strict comparison calls it
+// safe; the exact path correctly does not.
+func TestExactResolvesFloatBoundary(t *testing.T) {
+	g1 := append(append(append([]string{}, repeat("a", 9)...), repeat("b", 7)...), "c", "c", "d", "d")
+	g2 := append(append(append([]string{}, repeat("a", 6)...), repeat("b", 5)...), repeat("c", 5)...)
+	g2 = append(g2, repeat("d", 4)...)
+	bz := bucket.FromValues(g1, g2)
+
+	e := NewEngine()
+	exact, err := e.ExactMaxDisclosure(bz, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exact.Cmp(big.NewRat(9, 20)) != 0 {
+		t.Fatalf("exact k=0 max = %s, want 9/20", exact.RatString())
+	}
+	safe, err := e.IsCKSafeExact(bz, big.NewRat(9, 20), 0)
+	if err != nil || safe {
+		t.Errorf("exact strict comparison at the boundary: safe=%v, want false", safe)
+	}
+	// The negation closed form agrees exactly too.
+	neg, err := ExactNegationMaxDisclosure(bz, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if neg.Cmp(exact) != 0 {
+		t.Errorf("exact negation k=0 = %s, want %s", neg.RatString(), exact.RatString())
+	}
+}
+
+// TestExactNegationMatchesFloat checks the two negation paths agree.
+func TestExactNegationMatchesFloat(t *testing.T) {
+	f := func(raw []byte, kRaw uint8) bool {
+		groups := groupsFromRaw(raw)
+		if groups == nil {
+			return true
+		}
+		k := int(kRaw) % 5
+		bz := bucket.FromValues(groups...)
+		exact, err1 := ExactNegationMaxDisclosure(bz, k)
+		fl, err2 := NegationMaxDisclosure(bz, k)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		ex, _ := exact.Float64()
+		return math.Abs(ex-fl) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ExactNegationMaxDisclosure(nil, 1); err == nil {
+		t.Error("nil bucketization accepted")
+	}
+}
+
+func repeat(v string, n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = v
+	}
+	return out
+}

@@ -1,0 +1,244 @@
+package adult
+
+import (
+	"math"
+	"testing"
+
+	"ckprivacy/internal/hierarchy"
+	"ckprivacy/internal/table"
+)
+
+func TestSchemaShape(t *testing.T) {
+	s := Schema()
+	if len(s.Attrs) != 5 {
+		t.Fatalf("schema has %d attributes", len(s.Attrs))
+	}
+	if s.Sensitive().Name != AttrOccupation {
+		t.Errorf("sensitive = %q", s.Sensitive().Name)
+	}
+	if got := len(s.Sensitive().Domain); got != 14 {
+		t.Errorf("occupation domain size = %d, want 14 (paper: fourteen values)", got)
+	}
+	if len(MaritalStatuses) != 7 || len(Races) != 5 || len(Sexes) != 2 {
+		t.Error("domain sizes do not match the Adult dataset")
+	}
+}
+
+func TestGenerateDefaults(t *testing.T) {
+	tab, err := Generate(Config{Seed: 1, N: DefaultN})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Len() != 45222 {
+		t.Fatalf("Len = %d, want 45222 (paper's cleaned size)", tab.Len())
+	}
+	// Every row already passed schema validation in Append; spot-check the
+	// age bounds anyway.
+	for i := 0; i < tab.Len(); i += 997 {
+		age, err := tab.Int(i, 0)
+		if err != nil || age < MinAge || age > MaxAge {
+			t.Fatalf("row %d: age %d, err %v", i, age, err)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := MustGenerate(Config{Seed: 7, N: 500})
+	b := MustGenerate(Config{Seed: 7, N: 500})
+	for i := range a.Rows {
+		for j := range a.Rows[i] {
+			if a.Rows[i][j] != b.Rows[i][j] {
+				t.Fatalf("row %d differs: %v vs %v", i, a.Rows[i], b.Rows[i])
+			}
+		}
+	}
+	c := MustGenerate(Config{Seed: 8, N: 500})
+	same := true
+	for i := range a.Rows {
+		for j := range a.Rows[i] {
+			if a.Rows[i][j] != c.Rows[i][j] {
+				same = false
+			}
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical tables")
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	if _, err := Generate(Config{N: -1}); err == nil {
+		t.Error("negative N accepted")
+	}
+	if tab := MustGenerate(Config{}); tab.Len() != DefaultN {
+		t.Errorf("zero N gave %d rows, want DefaultN", tab.Len())
+	}
+}
+
+func TestMarginalShapes(t *testing.T) {
+	tab := MustGenerate(Config{Seed: 3, N: 20000})
+	n := float64(tab.Len())
+
+	sexCounts := tab.Counts(3)
+	maleFrac := float64(sexCounts["Male"]) / n
+	if maleFrac < 0.62 || maleFrac > 0.73 {
+		t.Errorf("male fraction = %.3f, want ~0.675", maleFrac)
+	}
+
+	raceCounts := tab.Counts(2)
+	whiteFrac := float64(raceCounts["White"]) / n
+	if whiteFrac < 0.80 || whiteFrac > 0.90 {
+		t.Errorf("white fraction = %.3f, want ~0.855", whiteFrac)
+	}
+
+	// Occupation: all fourteen values must occur, and the distribution
+	// must be visibly skewed (the paper's experiments depend on skew).
+	occCounts := tab.SensitiveCounts()
+	if len(occCounts) != 14 {
+		t.Fatalf("only %d occupations appear", len(occCounts))
+	}
+	top := tab.SortedCounts(4)
+	if top[0].Count < 8*top[len(top)-1].Count {
+		t.Errorf("occupation skew too small: top %v bottom %v", top[0], top[len(top)-1])
+	}
+}
+
+func TestYoungBracketIsSkewed(t *testing.T) {
+	// The width-20 Age generalization in Figure 5 relies on the youngest
+	// bucket having a dominant occupation. Verify the conditional skew.
+	tab := MustGenerate(Config{Seed: 3, N: 30000})
+	young := tab.Filter(func(r table.Row) bool { return r[0] < "25" && len(r[0]) == 2 })
+	if young.Len() < 200 {
+		t.Fatalf("too few young tuples: %d", young.Len())
+	}
+	counts := young.SortedCounts(4)
+	frac := float64(counts[0].Count) / float64(young.Len())
+	if frac < 0.18 {
+		t.Errorf("young top-occupation fraction = %.3f, want >= 0.18", frac)
+	}
+}
+
+func TestMaritalConditional(t *testing.T) {
+	tab := MustGenerate(Config{Seed: 5, N: 30000})
+	youngNever, youngAll := 0, 0
+	for i := 0; i < tab.Len(); i++ {
+		age, _ := tab.Int(i, 0)
+		if age < 25 {
+			youngAll++
+			if tab.Value(i, 1) == "Never-married" {
+				youngNever++
+			}
+		}
+	}
+	if youngAll == 0 {
+		t.Fatal("no young tuples")
+	}
+	frac := float64(youngNever) / float64(youngAll)
+	if frac < 0.7 {
+		t.Errorf("young never-married fraction = %.3f, want >= 0.7", frac)
+	}
+}
+
+func TestHierarchiesShape(t *testing.T) {
+	hs := Hierarchies()
+	dims, err := hs.Dims(QuasiIdentifiers())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{6, 3, 2, 2}
+	nodes := 1
+	for i, d := range dims {
+		if d != want[i] {
+			t.Errorf("dims[%d] = %d, want %d", i, d, want[i])
+		}
+		nodes *= d
+	}
+	if nodes != 72 {
+		t.Errorf("lattice has %d nodes, want 72", nodes)
+	}
+}
+
+func TestHierarchiesCoverDomains(t *testing.T) {
+	hs := Hierarchies()
+	for _, m := range MaritalStatuses {
+		for lvl := 0; lvl < 3; lvl++ {
+			if _, err := hs[AttrMarital].Generalize(m, lvl); err != nil {
+				t.Errorf("marital %q level %d: %v", m, lvl, err)
+			}
+		}
+	}
+	for age := MinAge; age <= MaxAge; age++ {
+		for lvl := 0; lvl < 6; lvl++ {
+			if _, err := hs[AttrAge].Generalize(itoa(age), lvl); err != nil {
+				t.Errorf("age %d level %d: %v", age, lvl, err)
+			}
+		}
+	}
+	got, err := hs[AttrAge].Generalize("23", 3)
+	if err != nil || got != "20-39" {
+		t.Errorf("age 23 at level 3 = %q, %v; want 20-39", got, err)
+	}
+	if g, _ := hs[AttrSex].Generalize("Male", 1); g != hierarchy.Suppressed {
+		t.Errorf("sex level 1 = %q", g)
+	}
+}
+
+func TestWeightedSampler(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("zero-weight sampler did not panic")
+		}
+	}()
+	newWeighted([]float64{0, 0})
+}
+
+func TestWeightedSamplerNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("negative-weight sampler did not panic")
+		}
+	}()
+	newWeighted([]float64{1, -1})
+}
+
+func TestAgeBracketBoundaries(t *testing.T) {
+	cases := map[int]int{17: 0, 24: 0, 25: 1, 34: 1, 35: 2, 49: 2, 50: 3, 64: 3, 65: 4, 90: 4}
+	for age, want := range cases {
+		if got := ageBracket(age); got != want {
+			t.Errorf("ageBracket(%d) = %d, want %d", age, got, want)
+		}
+	}
+}
+
+func TestDistributionsSumSensibly(t *testing.T) {
+	for b, row := range maritalByBracket {
+		sum := 0.0
+		for _, w := range row {
+			sum += w
+		}
+		if math.Abs(sum-1.0) > 0.02 {
+			t.Errorf("marital bracket %d sums to %.3f", b, sum)
+		}
+	}
+	sum := 0.0
+	for _, w := range occBase {
+		sum += w
+	}
+	if math.Abs(sum-1.0) > 0.02 {
+		t.Errorf("occupation base sums to %.3f", sum)
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [8]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}

@@ -1,0 +1,42 @@
+package adult
+
+import "ckprivacy/internal/hierarchy"
+
+// Hierarchies returns the generalization hierarchies the paper describes
+// (§4): Age has six levels (unsuppressed; intervals of width 5, 10, 20, 40;
+// suppressed), MaritalStatus has three levels, and Race and Sex each have
+// two (identity and suppression). The resulting full-domain generalization
+// lattice has 6*3*2*2 = 72 nodes.
+func Hierarchies() hierarchy.Set {
+	return hierarchy.Set{
+		AttrAge:     hierarchy.MustInterval(AttrAge, []int{1, 5, 10, 20, 40, 0}),
+		AttrMarital: maritalHierarchy(),
+		AttrRace:    hierarchy.NewSuppression(AttrRace, Races),
+		AttrSex:     hierarchy.NewSuppression(AttrSex, Sexes),
+	}
+}
+
+// maritalHierarchy groups the seven statuses into Married / Once-married /
+// Never-married at level 1 and suppresses at level 2.
+func maritalHierarchy() hierarchy.Hierarchy {
+	level1 := map[string]string{
+		"Married-civ-spouse":    "Married",
+		"Married-spouse-absent": "Married",
+		"Married-AF-spouse":     "Married",
+		"Divorced":              "Once-married",
+		"Separated":             "Once-married",
+		"Widowed":               "Once-married",
+		"Never-married":         "Never-married",
+	}
+	level2 := make(map[string]string, len(MaritalStatuses))
+	for _, v := range MaritalStatuses {
+		level2[v] = hierarchy.Suppressed
+	}
+	return hierarchy.MustLevelled(AttrMarital, MaritalStatuses,
+		[]map[string]string{level1, level2})
+}
+
+// QuasiIdentifiers lists the QI attribute names in canonical lattice order.
+func QuasiIdentifiers() []string {
+	return []string{AttrAge, AttrMarital, AttrRace, AttrSex}
+}

@@ -1,0 +1,138 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+)
+
+// This file renders Figures 5 and 6 as standalone SVG line charts so the
+// harness regenerates the paper's artifacts as figures, not just tables.
+// Only the standard library is used; the output is deliberately simple
+// (axes, ticks, polylines, legend).
+
+const (
+	svgW, svgH                         = 640, 440
+	padLeft, padRight, padTop, padBott = 60, 20, 30, 50
+)
+
+var svgColors = []string{"#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e", "#8c564b"}
+
+type svgSeries struct {
+	name string
+	xs   []float64
+	ys   []float64
+}
+
+// renderSVG writes a complete SVG document with the given series, axis
+// labels and title. Y is always the [0,1] disclosure axis.
+func renderSVG(w io.Writer, title, xlabel string, xmin, xmax float64, series []svgSeries) error {
+	if xmax <= xmin {
+		return fmt.Errorf("experiments: empty x range [%g, %g]", xmin, xmax)
+	}
+	plotW := float64(svgW - padLeft - padRight)
+	plotH := float64(svgH - padTop - padBott)
+	px := func(x float64) float64 { return padLeft + (x-xmin)/(xmax-xmin)*plotW }
+	py := func(y float64) float64 { return padTop + (1-y)*plotH }
+
+	var b []byte
+	out := func(format string, args ...any) {
+		b = append(b, fmt.Sprintf(format, args...)...)
+	}
+	out(`<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n",
+		svgW, svgH, svgW, svgH)
+	out(`<rect width="%d" height="%d" fill="white"/>`+"\n", svgW, svgH)
+	out(`<text x="%d" y="18" font-family="sans-serif" font-size="14" text-anchor="middle">%s</text>`+"\n",
+		svgW/2, title)
+
+	// Axes.
+	out(`<line x1="%d" y1="%g" x2="%d" y2="%g" stroke="black"/>`+"\n",
+		padLeft, py(0), svgW-padRight, py(0))
+	out(`<line x1="%d" y1="%g" x2="%d" y2="%g" stroke="black"/>`+"\n",
+		padLeft, py(0), padLeft, py(1))
+	// Y ticks at 0, .2, ..., 1.
+	for t := 0; t <= 5; t++ {
+		y := float64(t) / 5
+		out(`<line x1="%d" y1="%g" x2="%d" y2="%g" stroke="#cccccc"/>`+"\n",
+			padLeft, py(y), svgW-padRight, py(y))
+		out(`<text x="%d" y="%g" font-family="sans-serif" font-size="11" text-anchor="end">%.1f</text>`+"\n",
+			padLeft-6, py(y)+4, y)
+	}
+	// X ticks: 6 evenly spaced.
+	for t := 0; t <= 5; t++ {
+		x := xmin + (xmax-xmin)*float64(t)/5
+		out(`<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="black"/>`+"\n",
+			px(x), py(0), px(x), py(0)+5)
+		out(`<text x="%g" y="%g" font-family="sans-serif" font-size="11" text-anchor="middle">%.3g</text>`+"\n",
+			px(x), py(0)+18, x)
+	}
+	out(`<text x="%d" y="%d" font-family="sans-serif" font-size="12" text-anchor="middle">%s</text>`+"\n",
+		svgW/2, svgH-12, xlabel)
+	out(`<text x="16" y="%d" font-family="sans-serif" font-size="12" text-anchor="middle" transform="rotate(-90 16 %d)">max disclosure</text>`+"\n",
+		svgH/2, svgH/2)
+
+	for si, s := range series {
+		color := svgColors[si%len(svgColors)]
+		points := ""
+		for i := range s.xs {
+			y := s.ys[i]
+			if math.IsNaN(y) {
+				continue
+			}
+			points += fmt.Sprintf("%.2f,%.2f ", px(s.xs[i]), py(y))
+		}
+		out(`<polyline fill="none" stroke="%s" stroke-width="1.5" points="%s"/>`+"\n", color, points)
+		// Legend entry.
+		ly := padTop + 14 + 16*si
+		out(`<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="%s" stroke-width="2"/>`+"\n",
+			svgW-150, ly, svgW-125, ly, color)
+		out(`<text x="%d" y="%d" font-family="sans-serif" font-size="11">%s</text>`+"\n",
+			svgW-120, ly+4, s.name)
+	}
+	out("</svg>\n")
+	_, err := w.Write(b)
+	return err
+}
+
+// WriteSVG renders Figure 5 as an SVG chart.
+func (r *Fig5Result) WriteSVG(w io.Writer) error {
+	if len(r.Ks) == 0 {
+		return fmt.Errorf("experiments: empty figure 5 result")
+	}
+	xs := make([]float64, len(r.Ks))
+	for i, k := range r.Ks {
+		xs[i] = float64(k)
+	}
+	return renderSVG(w,
+		"Figure 5: disclosure vs pieces of background knowledge",
+		"number of conjuncts (k)",
+		xs[0], xs[len(xs)-1],
+		[]svgSeries{
+			{name: "implication", xs: xs, ys: r.Implication},
+			{name: "negation", xs: xs, ys: r.Negation},
+		})
+}
+
+// WriteSVG renders Figure 6's envelopes as an SVG chart, one series per k.
+func (r *Fig6Result) WriteSVG(w io.Writer) error {
+	if len(r.Points) == 0 || len(r.Ks) == 0 {
+		return fmt.Errorf("experiments: empty figure 6 result")
+	}
+	var series []svgSeries
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	for _, k := range r.Ks {
+		env := r.Envelope(k)
+		s := svgSeries{name: fmt.Sprintf("k = %d", k)}
+		for _, pt := range env {
+			s.xs = append(s.xs, pt.MinEntropy)
+			s.ys = append(s.ys, pt.Disclosure)
+			xmin = math.Min(xmin, pt.MinEntropy)
+			xmax = math.Max(xmax, pt.MinEntropy)
+		}
+		series = append(series, s)
+	}
+	return renderSVG(w,
+		"Figure 6: min entropy vs least max disclosure",
+		"min bucket entropy (nats)",
+		xmin, xmax, series)
+}

@@ -1,0 +1,66 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/xml"
+	"strings"
+	"testing"
+)
+
+func TestFig5SVG(t *testing.T) {
+	tab := smallAdult(t)
+	res, err := RunFig5(tab, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := res.WriteSVG(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "<svg") || !strings.HasSuffix(strings.TrimSpace(out), "</svg>") {
+		t.Fatal("not an SVG document")
+	}
+	// Must be well-formed XML.
+	dec := xml.NewDecoder(strings.NewReader(out))
+	for {
+		if _, err := dec.Token(); err != nil {
+			if err.Error() == "EOF" {
+				break
+			}
+			t.Fatalf("malformed XML: %v", err)
+		}
+	}
+	if got := strings.Count(out, "<polyline"); got != 2 {
+		t.Errorf("%d polylines, want 2 (implication + negation)", got)
+	}
+	if !strings.Contains(out, "implication") || !strings.Contains(out, "negation") {
+		t.Error("legend labels missing")
+	}
+	// Empty results are rejected.
+	if err := (&Fig5Result{}).WriteSVG(&buf); err == nil {
+		t.Error("empty result accepted")
+	}
+}
+
+func TestFig6SVG(t *testing.T) {
+	tab := smallAdult(t)
+	res, err := RunFig6(tab, []int{1, 3, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := res.WriteSVG(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if got := strings.Count(out, "<polyline"); got != 3 {
+		t.Errorf("%d polylines, want 3 (one per k)", got)
+	}
+	if !strings.Contains(out, "k = 5") {
+		t.Error("legend label missing")
+	}
+	if err := (&Fig6Result{}).WriteSVG(&buf); err == nil {
+		t.Error("empty result accepted")
+	}
+}

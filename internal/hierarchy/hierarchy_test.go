@@ -1,0 +1,254 @@
+package hierarchy
+
+import (
+	"fmt"
+	"strconv"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewIntervalValidation(t *testing.T) {
+	cases := []struct {
+		name    string
+		widths  []int
+		wantErr bool
+	}{
+		{"empty", nil, true},
+		{"first not 1", []int{5, 10}, true},
+		{"not increasing", []int{1, 10, 5}, true},
+		{"not divisible", []int{1, 5, 12}, true},
+		{"width after suppression", []int{1, 5, 0, 10}, true},
+		{"ok plain", []int{1, 5, 10, 20, 40, 0}, false},
+		{"ok identity only", []int{1}, false},
+		{"ok double suppression", []int{1, 0, 0}, false},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := NewInterval("Age", c.widths)
+			if (err != nil) != c.wantErr {
+				t.Fatalf("err = %v, wantErr = %v", err, c.wantErr)
+			}
+		})
+	}
+}
+
+func TestIntervalGeneralize(t *testing.T) {
+	h := MustInterval("Age", []int{1, 5, 10, 20, 40, 0})
+	if h.Name() != "Age" || h.Levels() != 6 {
+		t.Fatalf("Name/Levels = %q/%d", h.Name(), h.Levels())
+	}
+	cases := []struct {
+		value string
+		level int
+		want  string
+	}{
+		{"23", 0, "23"},
+		{"23", 1, "20-24"},
+		{"23", 2, "20-29"},
+		{"23", 3, "20-39"},
+		{"23", 4, "0-39"},
+		{"23", 5, "*"},
+		{"40", 4, "40-79"},
+		{"0", 1, "0-4"},
+		{"99", 3, "80-99"},
+	}
+	for _, c := range cases {
+		got, err := h.Generalize(c.value, c.level)
+		if err != nil {
+			t.Errorf("Generalize(%q, %d): %v", c.value, c.level, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("Generalize(%q, %d) = %q, want %q", c.value, c.level, got, c.want)
+		}
+	}
+	if _, err := h.Generalize("abc", 1); err == nil {
+		t.Error("non-integer accepted")
+	}
+	if _, err := h.Generalize("23", 6); err == nil {
+		t.Error("out-of-range level accepted")
+	}
+	if _, err := h.Generalize("23", -1); err == nil {
+		t.Error("negative level accepted")
+	}
+}
+
+func TestIntervalNegativeValues(t *testing.T) {
+	h := MustInterval("T", []int{1, 10})
+	got, err := h.Generalize("-3", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != "-10--1" {
+		t.Errorf("Generalize(-3, 1) = %q", got)
+	}
+	got, _ = h.Generalize("-10", 1)
+	if got != "-10--1" {
+		t.Errorf("Generalize(-10, 1) = %q", got)
+	}
+}
+
+var maritalDomain = []string{"single", "married", "divorced", "widowed"}
+
+func maritalHierarchy() *Levelled {
+	return MustLevelled("Marital", maritalDomain, []map[string]string{
+		{
+			"single": "alone", "married": "partnered",
+			"divorced": "alone", "widowed": "alone",
+		},
+		{
+			"single": "*", "married": "*", "divorced": "*", "widowed": "*",
+		},
+	})
+}
+
+func TestLevelledGeneralize(t *testing.T) {
+	h := maritalHierarchy()
+	if h.Levels() != 3 || h.Name() != "Marital" {
+		t.Fatalf("Levels/Name = %d/%q", h.Levels(), h.Name())
+	}
+	cases := []struct {
+		value string
+		level int
+		want  string
+	}{
+		{"married", 0, "married"},
+		{"married", 1, "partnered"},
+		{"divorced", 1, "alone"},
+		{"divorced", 2, "*"},
+	}
+	for _, c := range cases {
+		got, err := h.Generalize(c.value, c.level)
+		if err != nil || got != c.want {
+			t.Errorf("Generalize(%q, %d) = %q, %v; want %q", c.value, c.level, got, err, c.want)
+		}
+	}
+	if _, err := h.Generalize("unknown", 1); err == nil {
+		t.Error("unknown value accepted")
+	}
+	if _, err := h.Generalize("married", 3); err == nil {
+		t.Error("out-of-range level accepted")
+	}
+}
+
+func TestNewLevelledValidation(t *testing.T) {
+	if _, err := NewLevelled("X", nil, nil); err == nil {
+		t.Error("empty domain accepted")
+	}
+	// Missing value in a level map.
+	if _, err := NewLevelled("X", []string{"a", "b"}, []map[string]string{{"a": "g"}}); err == nil {
+		t.Error("incomplete level map accepted")
+	}
+	// Non-nested levels: a and b merge at level 1 but split at level 2.
+	_, err := NewLevelled("X", []string{"a", "b"}, []map[string]string{
+		{"a": "g", "b": "g"},
+		{"a": "p", "b": "q"},
+	})
+	if err == nil {
+		t.Error("non-nested hierarchy accepted")
+	}
+}
+
+func TestNewSuppression(t *testing.T) {
+	h := NewSuppression("Sex", []string{"M", "F"})
+	if h.Levels() != 2 {
+		t.Fatalf("Levels = %d", h.Levels())
+	}
+	got, err := h.Generalize("M", 1)
+	if err != nil || got != Suppressed {
+		t.Errorf("Generalize(M,1) = %q, %v", got, err)
+	}
+	got, err = h.Generalize("F", 0)
+	if err != nil || got != "F" {
+		t.Errorf("Generalize(F,0) = %q, %v", got, err)
+	}
+}
+
+func TestSetDims(t *testing.T) {
+	s := Set{
+		"Age": MustInterval("Age", []int{1, 5, 0}),
+		"Sex": NewSuppression("Sex", []string{"M", "F"}),
+	}
+	dims, err := s.Dims([]string{"Age", "Sex"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dims) != 2 || dims[0] != 3 || dims[1] != 2 {
+		t.Errorf("Dims = %v", dims)
+	}
+	if _, err := s.Dims([]string{"Race"}); err == nil {
+		t.Error("missing hierarchy accepted")
+	}
+}
+
+// TestNestedCoarseningProperty checks the law the lattice search relies on:
+// for any values x, y and levels j < j', equal generalizations at level j
+// imply equal generalizations at level j'.
+func TestNestedCoarseningProperty(t *testing.T) {
+	age := MustInterval("Age", []int{1, 5, 10, 20, 40, 0})
+	f := func(a, b uint8, lvl uint8) bool {
+		x, y := int(a%100), int(b%100)
+		j := int(lvl) % (age.Levels() - 1)
+		gx, err1 := age.Generalize(strconv.Itoa(x), j)
+		gy, err2 := age.Generalize(strconv.Itoa(y), j)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		if gx != gy {
+			return true // premise false
+		}
+		for jj := j + 1; jj < age.Levels(); jj++ {
+			hx, err1 := age.Generalize(strconv.Itoa(x), jj)
+			hy, err2 := age.Generalize(strconv.Itoa(y), jj)
+			if err1 != nil || err2 != nil || hx != hy {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestIntervalContainsValue checks that a value always falls inside its own
+// generalized interval.
+func TestIntervalContainsValue(t *testing.T) {
+	age := MustInterval("Age", []int{1, 5, 10, 20, 40, 0})
+	f := func(a uint8, lvl uint8) bool {
+		n := int(a % 120)
+		level := int(lvl) % age.Levels()
+		g, err := age.Generalize(strconv.Itoa(n), level)
+		if err != nil {
+			return false
+		}
+		if g == Suppressed {
+			return true
+		}
+		if level == 0 {
+			return g == strconv.Itoa(n)
+		}
+		var lo, hi int
+		if _, err := fmt.Sscanf(g, "%d-%d", &lo, &hi); err != nil {
+			return false
+		}
+		return lo <= n && n <= hi
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMustPanics(t *testing.T) {
+	assertPanics := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	assertPanics("MustInterval", func() { MustInterval("X", []int{2}) })
+	assertPanics("MustLevelled", func() { MustLevelled("X", nil, nil) })
+}

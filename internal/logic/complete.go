@@ -1,0 +1,139 @@
+package logic
+
+import "fmt"
+
+// Universe is a finite set of persons and a finite sensitive domain; its
+// worlds are all |Values|^|Persons| assignments. It is the setting of the
+// paper's Theorem 3 (completeness): with full identification information,
+// any predicate on tables is expressible as a finite conjunction of basic
+// implications.
+type Universe struct {
+	Persons []string
+	Values  []string
+}
+
+// WorldCount returns |Values|^|Persons| or an error when it would overflow
+// the enumeration budget.
+func (u Universe) WorldCount(limit int) (int, error) {
+	count := 1
+	for range u.Persons {
+		if count > limit/max(len(u.Values), 1) {
+			return 0, fmt.Errorf("logic: universe has more than %d worlds", limit)
+		}
+		count *= len(u.Values)
+	}
+	return count, nil
+}
+
+// EnumWorlds calls yield for every assignment; it stops early if yield
+// returns false. The assignment passed to yield is reused between calls and
+// must not be retained.
+func (u Universe) EnumWorlds(yield func(Assignment) bool) {
+	w := make(Assignment, len(u.Persons))
+	var rec func(i int) bool
+	rec = func(i int) bool {
+		if i == len(u.Persons) {
+			return yield(w)
+		}
+		for _, v := range u.Values {
+			w[u.Persons[i]] = v
+			if !rec(i + 1) {
+				return false
+			}
+		}
+		return true
+	}
+	rec(0)
+}
+
+// maxExpressWorlds bounds the enumeration in Express.
+const maxExpressWorlds = 1 << 20
+
+// Express implements Theorem 3 constructively: it returns a conjunction of
+// basic implications whose models (within the universe) are exactly the
+// worlds satisfying pred.
+//
+// Construction: for each world w excluded by pred, emit one basic
+// implication equivalent to ¬w. With persons p_0..p_{m-1},
+//
+//	(t_{p_0}=w(p_0) ∧ … ∧ t_{p_{m-2}}=w(p_{m-2})) → (∨_{s≠w(p_{m-1})} t_{p_{m-1}}=s)
+//
+// is violated exactly at w: its antecedent pins the first m-1 coordinates
+// and its consequent fails only when the last coordinate equals w(p_{m-1}).
+// For m = 1 the antecedent is t_{p_0}=w(p_0) itself, which is the negation
+// encoding of §2.2.
+//
+// Express fails when the universe has a single value but pred excludes its
+// only world (an empty consequent disjunction is not a basic implication),
+// and when every world is excluded (no consistent knowledge expresses an
+// unsatisfiable predicate about an inhabited universe — conjunctions of
+// basic implications are satisfiable by construction when |Values| ≥ 2).
+func (u Universe) Express(pred func(Assignment) bool) (Conjunction, error) {
+	if len(u.Persons) == 0 {
+		return nil, fmt.Errorf("logic: universe has no persons")
+	}
+	if _, err := u.WorldCount(maxExpressWorlds); err != nil {
+		return nil, err
+	}
+	var out Conjunction
+	excluded := 0
+	total := 0
+	u.EnumWorlds(func(w Assignment) bool {
+		total++
+		if pred(w) {
+			return true
+		}
+		excluded++
+		imp, err := u.excludeWorld(w)
+		if err != nil {
+			out = nil
+			return false
+		}
+		out = append(out, imp)
+		return true
+	})
+	if excluded > 0 && out == nil {
+		return nil, fmt.Errorf("logic: cannot express exclusion with a single-value domain")
+	}
+	if excluded == total {
+		return nil, fmt.Errorf("logic: predicate excludes every world; not expressible as consistent knowledge")
+	}
+	return out, nil
+}
+
+// excludeWorld builds the single basic implication equivalent to ¬w.
+func (u Universe) excludeWorld(w Assignment) (BasicImplication, error) {
+	m := len(u.Persons)
+	last := u.Persons[m-1]
+	var cons []Atom
+	for _, s := range u.Values {
+		if s != w[last] {
+			cons = append(cons, Atom{Person: last, Value: s})
+		}
+	}
+	if len(cons) == 0 {
+		return BasicImplication{}, fmt.Errorf("logic: single-value domain")
+	}
+	var ante []Atom
+	if m == 1 {
+		ante = []Atom{{Person: last, Value: w[last]}}
+	} else {
+		for _, p := range u.Persons[:m-1] {
+			ante = append(ante, Atom{Person: p, Value: w[p]})
+		}
+	}
+	return BasicImplication{Ante: ante, Cons: cons}, nil
+}
+
+// Models returns how many worlds of the universe satisfy the formula; used
+// to verify Express in tests and demos.
+func (u Universe) Models(c Conjunction) int {
+	n := 0
+	u.EnumWorlds(func(w Assignment) bool {
+		if c.Eval(w) {
+			n++
+		}
+		return true
+	})
+	return n
+}

@@ -1,0 +1,162 @@
+package logic
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestUniverseEnumWorlds(t *testing.T) {
+	u := Universe{Persons: []string{"p", "q"}, Values: []string{"a", "b", "c"}}
+	count := 0
+	seen := map[string]bool{}
+	u.EnumWorlds(func(w Assignment) bool {
+		count++
+		seen[w["p"]+"/"+w["q"]] = true
+		return true
+	})
+	if count != 9 || len(seen) != 9 {
+		t.Errorf("enumerated %d worlds, %d distinct; want 9", count, len(seen))
+	}
+	// Early stop.
+	count = 0
+	u.EnumWorlds(func(w Assignment) bool {
+		count++
+		return count < 3
+	})
+	if count != 3 {
+		t.Errorf("early stop enumerated %d", count)
+	}
+}
+
+func TestWorldCount(t *testing.T) {
+	u := Universe{Persons: []string{"a", "b", "c"}, Values: []string{"x", "y"}}
+	n, err := u.WorldCount(1000)
+	if err != nil || n != 8 {
+		t.Errorf("WorldCount = %d, %v", n, err)
+	}
+	big := Universe{Persons: make([]string, 64), Values: []string{"x", "y"}}
+	if _, err := big.WorldCount(1 << 20); err == nil {
+		t.Error("oversized universe accepted")
+	}
+}
+
+// TestExpressExactness is the executable form of Theorem 3: for an
+// arbitrary predicate over a small universe, the constructed conjunction of
+// basic implications has exactly the predicate's models.
+func TestExpressExactness(t *testing.T) {
+	u := Universe{Persons: []string{"p", "q"}, Values: []string{"a", "b", "c"}}
+
+	preds := map[string]func(Assignment) bool{
+		"same value":    func(w Assignment) bool { return w["p"] == w["q"] },
+		"p is a":        func(w Assignment) bool { return w["p"] == "a" },
+		"not both b":    func(w Assignment) bool { return !(w["p"] == "b" && w["q"] == "b") },
+		"everything":    func(w Assignment) bool { return true },
+		"exactly one a": func(w Assignment) bool { return (w["p"] == "a") != (w["q"] == "a") },
+	}
+	for name, pred := range preds {
+		t.Run(name, func(t *testing.T) {
+			c, err := u.Express(pred)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := c.Validate(); err != nil {
+				t.Fatalf("constructed conjunction invalid: %v", err)
+			}
+			// Models of the conjunction == models of the predicate.
+			u.EnumWorlds(func(w Assignment) bool {
+				if c.Eval(w) != pred(w) {
+					t.Errorf("world %v: conjunction %v, predicate %v", w, c.Eval(w), pred(w))
+				}
+				return true
+			})
+		})
+	}
+}
+
+func TestExpressPredicateArity(t *testing.T) {
+	// Single person: negation encoding path.
+	u := Universe{Persons: []string{"p"}, Values: []string{"a", "b", "c"}}
+	c, err := u.Express(func(w Assignment) bool { return w["p"] != "b" })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := u.Models(c); got != 2 {
+		t.Errorf("models = %d, want 2", got)
+	}
+}
+
+func TestExpressErrors(t *testing.T) {
+	if _, err := (Universe{}).Express(func(Assignment) bool { return true }); err == nil {
+		t.Error("empty universe accepted")
+	}
+	one := Universe{Persons: []string{"p"}, Values: []string{"only"}}
+	if _, err := one.Express(func(Assignment) bool { return false }); err == nil {
+		t.Error("single-value exclusion accepted")
+	}
+	u := Universe{Persons: []string{"p"}, Values: []string{"a", "b"}}
+	if _, err := u.Express(func(Assignment) bool { return false }); err == nil {
+		t.Error("unsatisfiable predicate accepted")
+	}
+	huge := Universe{Persons: make([]string, 40), Values: []string{"a", "b", "c"}}
+	for i := range huge.Persons {
+		huge.Persons[i] = string(rune('A' + i))
+	}
+	if _, err := huge.Express(func(Assignment) bool { return true }); err == nil {
+		t.Error("oversized universe accepted")
+	}
+}
+
+// TestExpressRandomPredicates property-checks Theorem 3 on random
+// predicates: any subset of worlds that is expressible (non-empty) is
+// expressed exactly.
+func TestExpressRandomPredicates(t *testing.T) {
+	u := Universe{Persons: []string{"p", "q"}, Values: []string{"a", "b"}}
+	f := func(mask uint8) bool {
+		m := mask % 16
+		if m == 0 {
+			return true // unsatisfiable: Express correctly refuses
+		}
+		idx := func(w Assignment) int {
+			i := 0
+			if w["p"] == "b" {
+				i |= 1
+			}
+			if w["q"] == "b" {
+				i |= 2
+			}
+			return i
+		}
+		pred := func(w Assignment) bool { return m&(1<<idx(w)) != 0 }
+		c, err := u.Express(pred)
+		if err != nil {
+			return false
+		}
+		ok := true
+		u.EnumWorlds(func(w Assignment) bool {
+			if c.Eval(w) != pred(w) {
+				ok = false
+				return false
+			}
+			return true
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestExpressSizeBound documents the construction's size: one implication
+// per excluded world (the exponential blow-up the paper acknowledges for
+// arbitrary DNF properties).
+func TestExpressSizeBound(t *testing.T) {
+	u := Universe{Persons: []string{"p", "q"}, Values: []string{"a", "b", "c"}}
+	pred := func(w Assignment) bool { return w["p"] == w["q"] } // excludes 6 of 9
+	c, err := u.Express(pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c) != 6 {
+		t.Errorf("conjunction has %d implications, want 6", len(c))
+	}
+}

@@ -1,0 +1,78 @@
+package logic
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseImplication checks that the parser never panics and that
+// anything it accepts round-trips through String.
+func FuzzParseImplication(f *testing.F) {
+	seeds := []string{
+		"t[Ed]=flu -> t[Ed]=mumps",
+		"t[H]=flu & t[I]=flu -> t[C]=flu | t[C]=mumps",
+		"t[a]=b->t[c]=d",
+		" t[ p ]=v -> t[q]=w ",
+		"->",
+		"t[]=x -> t[y]=z",
+		"t[x]=-> t[y]=z",
+		"t[x]=a -> ",
+		strings.Repeat("t[x]=a & ", 50) + "t[x]=a -> t[y]=b",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		b, err := ParseImplication(s)
+		if err != nil {
+			return
+		}
+		if err := b.Validate(); err != nil {
+			t.Fatalf("parser accepted invalid implication %q: %v", s, err)
+		}
+		again, err := ParseImplication(b.String())
+		if err != nil {
+			t.Fatalf("round trip of %q failed to parse %q: %v", s, b.String(), err)
+		}
+		if again.String() != b.String() {
+			t.Fatalf("round trip of %q not stable: %q vs %q", s, b.String(), again.String())
+		}
+	})
+}
+
+// FuzzParseConjunction checks the multi-implication entry point.
+func FuzzParseConjunction(f *testing.F) {
+	f.Add("t[a]=b -> t[c]=d; t[e]=f -> t[g]=h")
+	f.Add(";;;\n\n;")
+	f.Add("t[a]=b -> t[c]=d\nt[e]=f -> t[g]=h\n")
+	f.Add("garbage")
+	f.Fuzz(func(t *testing.T, s string) {
+		c, err := ParseConjunction(s)
+		if err != nil {
+			return
+		}
+		if err := c.Validate(); err != nil {
+			t.Fatalf("parser accepted invalid conjunction %q: %v", s, err)
+		}
+		again, err := ParseConjunction(c.String())
+		if err != nil || again.String() != c.String() {
+			t.Fatalf("round trip of %q failed: %q, %v", s, c.String(), err)
+		}
+	})
+}
+
+// FuzzParseAtom checks the atom parser.
+func FuzzParseAtom(f *testing.F) {
+	f.Add("t[Ed]=flu")
+	f.Add("t[=]")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, s string) {
+		a, err := ParseAtom(s)
+		if err != nil {
+			return
+		}
+		if a.Person == "" || a.Value == "" {
+			t.Fatalf("parser accepted empty components from %q: %+v", s, a)
+		}
+	})
+}

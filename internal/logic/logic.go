@@ -1,0 +1,186 @@
+// Package logic implements the paper's background-knowledge language:
+// atoms t_p[S] = s (Definition 1), basic implications
+// (∧ A_i) → (∨ B_j) (Definition 2), simple implications A → B
+// (Definition 7), conjunctions of k basic implications (the language
+// L^k_basic of Definition 4), and the constructive completeness result
+// (Theorem 3).
+package logic
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Atom is the formula t_p[S] = s: person p's sensitive value is s.
+type Atom struct {
+	Person string
+	Value  string
+}
+
+// String renders the atom in the package's concrete syntax.
+func (a Atom) String() string { return fmt.Sprintf("t[%s]=%s", a.Person, a.Value) }
+
+// Assignment maps each person to a sensitive value; it denotes one possible
+// underlying table (a "world").
+type Assignment map[string]string
+
+// Eval reports whether the atom holds in the world.
+func (a Atom) Eval(w Assignment) bool { return w[a.Person] == a.Value }
+
+// BasicImplication is (∧ Ante) → (∨ Cons) with at least one atom on each
+// side — the paper's basic unit of knowledge.
+type BasicImplication struct {
+	Ante []Atom
+	Cons []Atom
+}
+
+// Validate enforces Definition 2's m ≥ 1, n ≥ 1.
+func (b BasicImplication) Validate() error {
+	if len(b.Ante) == 0 {
+		return fmt.Errorf("logic: basic implication needs at least one antecedent atom")
+	}
+	if len(b.Cons) == 0 {
+		return fmt.Errorf("logic: basic implication needs at least one consequent atom")
+	}
+	return nil
+}
+
+// Eval reports whether the implication holds in the world.
+func (b BasicImplication) Eval(w Assignment) bool {
+	for _, a := range b.Ante {
+		if !a.Eval(w) {
+			return true // antecedent false: implication vacuously true
+		}
+	}
+	for _, c := range b.Cons {
+		if c.Eval(w) {
+			return true
+		}
+	}
+	return false
+}
+
+// String renders the implication, e.g. "t[Hannah]=flu -> t[Charlie]=flu".
+func (b BasicImplication) String() string {
+	ante := make([]string, len(b.Ante))
+	for i, a := range b.Ante {
+		ante[i] = a.String()
+	}
+	cons := make([]string, len(b.Cons))
+	for i, c := range b.Cons {
+		cons[i] = c.String()
+	}
+	return strings.Join(ante, " & ") + " -> " + strings.Join(cons, " | ")
+}
+
+// SimpleImplication is A → B for single atoms A, B (Definition 7). Theorem 9
+// shows worst-case disclosure is always attained by simple implications.
+type SimpleImplication struct {
+	Ante Atom
+	Cons Atom
+}
+
+// Basic widens a simple implication to a BasicImplication.
+func (s SimpleImplication) Basic() BasicImplication {
+	return BasicImplication{Ante: []Atom{s.Ante}, Cons: []Atom{s.Cons}}
+}
+
+// Eval reports whether the implication holds in the world.
+func (s SimpleImplication) Eval(w Assignment) bool { return !s.Ante.Eval(w) || s.Cons.Eval(w) }
+
+// String renders the implication.
+func (s SimpleImplication) String() string { return s.Basic().String() }
+
+// Conjunction is a conjunction of basic implications; a Conjunction of
+// length k is a sentence of L^k_basic.
+type Conjunction []BasicImplication
+
+// Eval reports whether every conjunct holds in the world.
+func (c Conjunction) Eval(w Assignment) bool {
+	for _, b := range c {
+		if !b.Eval(w) {
+			return false
+		}
+	}
+	return true
+}
+
+// Validate validates every conjunct.
+func (c Conjunction) Validate() error {
+	for i, b := range c {
+		if err := b.Validate(); err != nil {
+			return fmt.Errorf("logic: conjunct %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// String renders the conjunction with "; " between conjuncts.
+func (c Conjunction) String() string {
+	parts := make([]string, len(c))
+	for i, b := range c {
+		parts[i] = b.String()
+	}
+	return strings.Join(parts, "; ")
+}
+
+// Simple converts simple implications to a Conjunction.
+func Simple(imps ...SimpleImplication) Conjunction {
+	c := make(Conjunction, len(imps))
+	for i, s := range imps {
+		c[i] = s.Basic()
+	}
+	return c
+}
+
+// Negation encodes ¬(t_p[S] = s) as the basic implication
+// (t_p[S]=s) → (t_p[S]=other) for any other ≠ s (§2.2 of the paper: sound
+// because each tuple has exactly one sensitive value).
+func Negation(person, value, other string) (BasicImplication, error) {
+	if other == value {
+		return BasicImplication{}, fmt.Errorf("logic: negation of %q needs a different witness value", value)
+	}
+	a := Atom{Person: person, Value: value}
+	return BasicImplication{Ante: []Atom{a}, Cons: []Atom{{Person: person, Value: other}}}, nil
+}
+
+// Negations encodes a set of negated atoms, choosing witness values from the
+// given domain automatically.
+func Negations(atoms []Atom, domain []string) (Conjunction, error) {
+	if len(domain) < 2 {
+		return nil, fmt.Errorf("logic: negations need a domain with at least two values")
+	}
+	out := make(Conjunction, 0, len(atoms))
+	for _, a := range atoms {
+		other := domain[0]
+		if other == a.Value {
+			other = domain[1]
+		}
+		n, err := Negation(a.Person, a.Value, other)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+// Persons returns the sorted set of persons mentioned by the conjunction.
+func (c Conjunction) Persons() []string {
+	set := map[string]bool{}
+	for _, b := range c {
+		for _, a := range b.Ante {
+			set[a.Person] = true
+		}
+		for _, a := range b.Cons {
+			set[a.Person] = true
+		}
+	}
+	out := make([]string, 0, len(set))
+	for p := range set {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,283 @@
+package logic
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestAtomEvalString(t *testing.T) {
+	a := Atom{Person: "Ed", Value: "flu"}
+	if a.String() != "t[Ed]=flu" {
+		t.Errorf("String = %q", a.String())
+	}
+	if !a.Eval(Assignment{"Ed": "flu"}) {
+		t.Error("Eval true case failed")
+	}
+	if a.Eval(Assignment{"Ed": "mumps"}) {
+		t.Error("Eval false case failed")
+	}
+	if a.Eval(Assignment{}) {
+		t.Error("Eval on missing person should be false")
+	}
+}
+
+func TestBasicImplicationEval(t *testing.T) {
+	b := BasicImplication{
+		Ante: []Atom{{Person: "H", Value: "flu"}, {Person: "I", Value: "flu"}},
+		Cons: []Atom{{Person: "C", Value: "flu"}, {Person: "C", Value: "mumps"}},
+	}
+	cases := []struct {
+		w    Assignment
+		want bool
+	}{
+		{Assignment{"H": "flu", "I": "flu", "C": "flu"}, true},     // ante true, cons true
+		{Assignment{"H": "flu", "I": "flu", "C": "mumps"}, true},   // second disjunct
+		{Assignment{"H": "flu", "I": "flu", "C": "cancer"}, false}, // ante true, cons false
+		{Assignment{"H": "cold", "I": "flu", "C": "cancer"}, true}, // ante false
+	}
+	for i, c := range cases {
+		if got := b.Eval(c.w); got != c.want {
+			t.Errorf("case %d: Eval = %v, want %v", i, got, c.want)
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := (BasicImplication{}).Validate(); err == nil {
+		t.Error("empty implication validated")
+	}
+	if err := (BasicImplication{Ante: []Atom{{Person: "p", Value: "v"}}}).Validate(); err == nil {
+		t.Error("implication without consequent validated")
+	}
+	if err := (BasicImplication{Cons: []Atom{{Person: "p", Value: "v"}}}).Validate(); err == nil {
+		t.Error("implication without antecedent validated")
+	}
+	c := Conjunction{{Ante: []Atom{{Person: "p", Value: "v"}}, Cons: []Atom{{Person: "p", Value: "w"}}}, {}}
+	if err := c.Validate(); err == nil {
+		t.Error("conjunction with invalid conjunct validated")
+	}
+}
+
+func TestSimpleImplication(t *testing.T) {
+	s := SimpleImplication{Ante: Atom{"H", "flu"}, Cons: Atom{"C", "flu"}}
+	if s.String() != "t[H]=flu -> t[C]=flu" {
+		t.Errorf("String = %q", s.String())
+	}
+	if !s.Eval(Assignment{"H": "cold"}) {
+		t.Error("vacuous case failed")
+	}
+	if s.Eval(Assignment{"H": "flu", "C": "cold"}) {
+		t.Error("violated case passed")
+	}
+	b := s.Basic()
+	if len(b.Ante) != 1 || len(b.Cons) != 1 {
+		t.Error("Basic() shape wrong")
+	}
+	conj := Simple(s, s)
+	if len(conj) != 2 {
+		t.Error("Simple() length wrong")
+	}
+}
+
+func TestConjunctionEvalAndString(t *testing.T) {
+	c := Conjunction{
+		{Ante: []Atom{{"H", "flu"}}, Cons: []Atom{{"C", "flu"}}},
+		{Ante: []Atom{{"E", "flu"}}, Cons: []Atom{{"E", "mumps"}}}, // ¬(E=flu)
+	}
+	if !c.Eval(Assignment{"H": "x", "E": "cold"}) {
+		t.Error("conjunction should hold")
+	}
+	if c.Eval(Assignment{"H": "flu", "C": "cold", "E": "cold"}) {
+		t.Error("violated first conjunct")
+	}
+	if c.Eval(Assignment{"H": "x", "E": "flu"}) {
+		t.Error("violated negation conjunct")
+	}
+	want := "t[H]=flu -> t[C]=flu; t[E]=flu -> t[E]=mumps"
+	if c.String() != want {
+		t.Errorf("String = %q, want %q", c.String(), want)
+	}
+	if (Conjunction{}).Eval(Assignment{}) != true {
+		t.Error("empty conjunction should be true")
+	}
+}
+
+func TestNegationSemantics(t *testing.T) {
+	// ¬(Ed=flu) encoded as (Ed=flu)→(Ed=ovarian) must hold exactly when
+	// Ed's value differs from flu, in any world.
+	n, err := Negation("Ed", "flu", "ovarian")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []string{"flu", "ovarian", "mumps"} {
+		got := n.Eval(Assignment{"Ed": v})
+		want := v != "flu"
+		if got != want {
+			t.Errorf("world Ed=%s: Eval = %v, want %v", v, got, want)
+		}
+	}
+	if _, err := Negation("Ed", "flu", "flu"); err == nil {
+		t.Error("same-value negation accepted")
+	}
+}
+
+func TestNegations(t *testing.T) {
+	atoms := []Atom{{"Ed", "flu"}, {"Ed", "a"}}
+	c, err := Negations(atoms, []string{"a", "b", "c"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c) != 2 {
+		t.Fatalf("len = %d", len(c))
+	}
+	// The witness for ¬(Ed=a) must not be a itself.
+	if c[1].Cons[0].Value == "a" {
+		t.Error("witness equals negated value")
+	}
+	if !c.Eval(Assignment{"Ed": "b"}) {
+		t.Error("Ed=b should satisfy both negations")
+	}
+	if c.Eval(Assignment{"Ed": "flu"}) {
+		t.Error("Ed=flu should violate the first negation")
+	}
+	if _, err := Negations(atoms, []string{"only"}); err == nil {
+		t.Error("single-value domain accepted")
+	}
+}
+
+func TestPersons(t *testing.T) {
+	c := Conjunction{
+		{Ante: []Atom{{"Zoe", "x"}}, Cons: []Atom{{"Al", "y"}}},
+		{Ante: []Atom{{"Al", "x"}}, Cons: []Atom{{"Mia", "y"}}},
+	}
+	got := c.Persons()
+	want := []string{"Al", "Mia", "Zoe"}
+	if len(got) != len(want) {
+		t.Fatalf("Persons = %v", got)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("Persons = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestParseAtom(t *testing.T) {
+	good := map[string]Atom{
+		"t[Ed]=flu":          {"Ed", "flu"},
+		"  t[Ed]=flu  ":      {"Ed", "flu"},
+		"t[p 1]=lung cancer": {"p 1", "lung cancer"},
+	}
+	for in, want := range good {
+		got, err := ParseAtom(in)
+		if err != nil || got != want {
+			t.Errorf("ParseAtom(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	bad := []string{"", "Ed=flu", "t[Ed=flu", "t[]=flu", "t[Ed]flu", "t[Ed]="}
+	for _, in := range bad {
+		if _, err := ParseAtom(in); err == nil {
+			t.Errorf("ParseAtom(%q) succeeded", in)
+		}
+	}
+}
+
+func TestParseImplication(t *testing.T) {
+	b, err := ParseImplication("t[H]=flu & t[I]=flu -> t[C]=flu | t[C]=mumps")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Ante) != 2 || len(b.Cons) != 2 {
+		t.Fatalf("shape = %d -> %d", len(b.Ante), len(b.Cons))
+	}
+	if b.Ante[1] != (Atom{"I", "flu"}) || b.Cons[1] != (Atom{"C", "mumps"}) {
+		t.Errorf("parsed = %v", b)
+	}
+	bad := []string{
+		"t[H]=flu",                  // no arrow
+		"-> t[C]=flu",               // empty antecedent atom
+		"t[H]=flu -> ",              // empty consequent atom
+		"t[H]=flu & -> t[C]=flu",    // malformed antecedent list
+		"t[H]=flu -> t[C]=flu | zz", // malformed consequent atom
+	}
+	for _, in := range bad {
+		if _, err := ParseImplication(in); err == nil {
+			t.Errorf("ParseImplication(%q) succeeded", in)
+		}
+	}
+}
+
+func TestParseConjunction(t *testing.T) {
+	c, err := ParseConjunction("t[H]=flu -> t[C]=flu; t[E]=flu -> t[E]=mumps;\n t[A]=x -> t[B]=y\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c) != 3 {
+		t.Fatalf("len = %d", len(c))
+	}
+	if _, err := ParseConjunction("t[H]=flu -> t[C]=flu; junk"); err == nil {
+		t.Error("junk segment accepted")
+	}
+	empty, err := ParseConjunction("  ;\n ; ")
+	if err != nil || len(empty) != 0 {
+		t.Errorf("blank conjunction = %v, %v", empty, err)
+	}
+}
+
+// TestParseRoundTrip property-checks String/Parse inverse on generated
+// implications.
+func TestParseRoundTrip(t *testing.T) {
+	persons := []string{"Al", "Bea", "Cy", "Dee"}
+	values := []string{"flu", "mumps", "cancer"}
+	f := func(raw []uint8) bool {
+		if len(raw) < 4 {
+			return true
+		}
+		mkAtom := func(i int) Atom {
+			return Atom{
+				Person: persons[int(raw[i%len(raw)])%len(persons)],
+				Value:  values[int(raw[(i+1)%len(raw)])%len(values)],
+			}
+		}
+		na := 1 + int(raw[0])%3
+		nc := 1 + int(raw[1])%3
+		var b BasicImplication
+		for i := 0; i < na; i++ {
+			b.Ante = append(b.Ante, mkAtom(i+2))
+		}
+		for i := 0; i < nc; i++ {
+			b.Cons = append(b.Cons, mkAtom(i+na+2))
+		}
+		got, err := ParseImplication(b.String())
+		if err != nil {
+			return false
+		}
+		return got.String() == b.String()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestNegationExpressiveness checks the paper's §2.2 claim used throughout:
+// the negation encoding has exactly the models of ¬(t_p=s) within worlds
+// that assign p some value.
+func TestNegationExpressiveness(t *testing.T) {
+	u := Universe{Persons: []string{"p"}, Values: []string{"a", "b", "c"}}
+	n, err := Negation("p", "a", "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	models := u.Models(Conjunction{n})
+	if models != 2 {
+		t.Errorf("negation has %d models, want 2", models)
+	}
+}
+
+func TestStringContainsArrow(t *testing.T) {
+	b := BasicImplication{Ante: []Atom{{"p", "v"}}, Cons: []Atom{{"q", "w"}}}
+	if !strings.Contains(b.String(), "->") {
+		t.Error("String missing arrow")
+	}
+}

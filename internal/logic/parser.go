@@ -1,0 +1,84 @@
+package logic
+
+import (
+	"fmt"
+	"strings"
+)
+
+// The concrete syntax, mirroring the paper's notation:
+//
+//	atom         := "t[" person "]=" value
+//	implication  := atom { "&" atom } "->" atom { "|" atom }
+//	conjunction  := implication { ";" implication }
+//
+// Whitespace around tokens is ignored. Person and value strings may contain
+// anything except the delimiter characters '[', ']', '&', '|', ';' and "->".
+
+// ParseAtom parses "t[p]=v".
+func ParseAtom(s string) (Atom, error) {
+	s = strings.TrimSpace(s)
+	if !strings.HasPrefix(s, "t[") {
+		return Atom{}, fmt.Errorf("logic: atom %q must start with \"t[\"", s)
+	}
+	rest := s[len("t["):]
+	close := strings.Index(rest, "]")
+	if close < 0 {
+		return Atom{}, fmt.Errorf("logic: atom %q missing \"]\"", s)
+	}
+	person := rest[:close]
+	if person == "" {
+		return Atom{}, fmt.Errorf("logic: atom %q has empty person", s)
+	}
+	rest = rest[close+1:]
+	if !strings.HasPrefix(rest, "=") {
+		return Atom{}, fmt.Errorf("logic: atom %q missing \"=\"", s)
+	}
+	value := strings.TrimSpace(rest[1:])
+	if value == "" {
+		return Atom{}, fmt.Errorf("logic: atom %q has empty value", s)
+	}
+	return Atom{Person: person, Value: value}, nil
+}
+
+// ParseImplication parses one basic implication.
+func ParseImplication(s string) (BasicImplication, error) {
+	parts := strings.SplitN(s, "->", 2)
+	if len(parts) != 2 {
+		return BasicImplication{}, fmt.Errorf("logic: implication %q missing \"->\"", s)
+	}
+	var b BasicImplication
+	for _, as := range strings.Split(parts[0], "&") {
+		a, err := ParseAtom(as)
+		if err != nil {
+			return BasicImplication{}, err
+		}
+		b.Ante = append(b.Ante, a)
+	}
+	for _, cs := range strings.Split(parts[1], "|") {
+		c, err := ParseAtom(cs)
+		if err != nil {
+			return BasicImplication{}, err
+		}
+		b.Cons = append(b.Cons, c)
+	}
+	return b, b.Validate()
+}
+
+// ParseConjunction parses a ";"- or newline-separated conjunction of basic
+// implications. Empty segments are skipped, so trailing separators are
+// harmless.
+func ParseConjunction(s string) (Conjunction, error) {
+	var out Conjunction
+	seps := func(r rune) bool { return r == ';' || r == '\n' }
+	for _, seg := range strings.FieldsFunc(s, seps) {
+		if strings.TrimSpace(seg) == "" {
+			continue
+		}
+		b, err := ParseImplication(seg)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, b)
+	}
+	return out, nil
+}

@@ -1,0 +1,52 @@
+package table
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+)
+
+// WriteCSV writes the table with a header row of attribute names.
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Schema.Names()); err != nil {
+		return fmt.Errorf("table: write csv header: %w", err)
+	}
+	for i, r := range t.Rows {
+		if err := cw.Write(r); err != nil {
+			return fmt.Errorf("table: write csv row %d: %w", i, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV reads a table written by WriteCSV. The header must match the
+// schema's attribute names exactly and every row must validate.
+func ReadCSV(r io.Reader, s *Schema) (*Table, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = len(s.Attrs)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("table: read csv header: %w", err)
+	}
+	names := s.Names()
+	for i, h := range header {
+		if h != names[i] {
+			return nil, fmt.Errorf("table: csv header %q at column %d, want %q", h, i, names[i])
+		}
+	}
+	t := New(s)
+	for line := 2; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			return t, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("table: read csv line %d: %w", line, err)
+		}
+		if err := t.Append(Row(rec)); err != nil {
+			return nil, fmt.Errorf("table: csv line %d: %w", line, err)
+		}
+	}
+}

@@ -1,0 +1,45 @@
+package table
+
+import "sort"
+
+// ValueCount pairs a value with its multiplicity.
+type ValueCount struct {
+	Value string
+	Count int
+}
+
+// Counts tallies the values of the given column.
+func (t *Table) Counts(col int) map[string]int {
+	m := make(map[string]int)
+	for _, r := range t.Rows {
+		m[r[col]]++
+	}
+	return m
+}
+
+// SensitiveCounts tallies the sensitive attribute.
+func (t *Table) SensitiveCounts() map[string]int {
+	return t.Counts(t.Schema.SensitiveIndex)
+}
+
+// SortedCounts returns the column's value counts in decreasing count order,
+// breaking ties by value for determinism.
+func (t *Table) SortedCounts(col int) []ValueCount {
+	return SortCounts(t.Counts(col))
+}
+
+// SortCounts converts a count map to a deterministic, decreasing-count
+// slice (ties broken by increasing value).
+func SortCounts(m map[string]int) []ValueCount {
+	out := make([]ValueCount, 0, len(m))
+	for v, c := range m {
+		out = append(out, ValueCount{Value: v, Count: c})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Value < out[j].Value
+	})
+	return out
+}

@@ -1,0 +1,140 @@
+package table
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+)
+
+// Row is one tuple, with values in schema order.
+type Row []string
+
+// Table is a row-oriented relation over a Schema. Rows are addressed by
+// index; the index doubles as the (anonymous) person identifier used by the
+// privacy machinery: row i is "person i".
+type Table struct {
+	Schema *Schema
+	Rows   []Row
+}
+
+// New creates an empty table over the schema.
+func New(s *Schema) *Table { return &Table{Schema: s} }
+
+// Append validates a row against the schema and adds it.
+func (t *Table) Append(r Row) error {
+	if len(r) != len(t.Schema.Attrs) {
+		return fmt.Errorf("table: row has %d values, schema has %d attributes", len(r), len(t.Schema.Attrs))
+	}
+	for i, v := range r {
+		if err := t.Schema.Attrs[i].Validate(v); err != nil {
+			return err
+		}
+	}
+	t.Rows = append(t.Rows, r)
+	return nil
+}
+
+// MustAppend appends a row and panics on validation failure. It is intended
+// for statically known test fixtures.
+func (t *Table) MustAppend(r Row) {
+	if err := t.Append(r); err != nil {
+		panic(err)
+	}
+}
+
+// Len returns the number of rows.
+func (t *Table) Len() int { return len(t.Rows) }
+
+// Value returns the value of column col in row i.
+func (t *Table) Value(i, col int) string { return t.Rows[i][col] }
+
+// SensitiveValue returns the sensitive attribute value of row i.
+func (t *Table) SensitiveValue(i int) string {
+	return t.Rows[i][t.Schema.SensitiveIndex]
+}
+
+// Int returns the value of a numeric column as an integer.
+func (t *Table) Int(i, col int) (int, error) {
+	n, err := strconv.Atoi(t.Rows[i][col])
+	if err != nil {
+		return 0, fmt.Errorf("table: row %d column %d: %w", i, col, err)
+	}
+	return n, nil
+}
+
+// Project returns a new table with only the named columns. The sensitive
+// attribute must be among them.
+func (t *Table) Project(names ...string) (*Table, error) {
+	cols := make([]int, len(names))
+	attrs := make([]Attribute, len(names))
+	for i, name := range names {
+		c := t.Schema.Index(name)
+		if c < 0 {
+			return nil, fmt.Errorf("table: project: no attribute %q", name)
+		}
+		cols[i] = c
+		attrs[i] = t.Schema.Attrs[c]
+	}
+	s, err := NewSchema(attrs, t.Schema.Sensitive().Name)
+	if err != nil {
+		return nil, fmt.Errorf("table: project: %w", err)
+	}
+	out := New(s)
+	out.Rows = make([]Row, len(t.Rows))
+	for i, r := range t.Rows {
+		nr := make(Row, len(cols))
+		for j, c := range cols {
+			nr[j] = r[c]
+		}
+		out.Rows[i] = nr
+	}
+	return out, nil
+}
+
+// Filter returns a new table containing the rows for which keep returns
+// true. Row identity (person identity) is not preserved; the result is a
+// fresh relation.
+func (t *Table) Filter(keep func(Row) bool) *Table {
+	out := New(t.Schema)
+	for _, r := range t.Rows {
+		if keep(r) {
+			out.Rows = append(out.Rows, r)
+		}
+	}
+	return out
+}
+
+// Clone returns a deep copy of the table.
+func (t *Table) Clone() *Table {
+	out := New(t.Schema)
+	out.Rows = make([]Row, len(t.Rows))
+	for i, r := range t.Rows {
+		nr := make(Row, len(r))
+		copy(nr, r)
+		out.Rows[i] = nr
+	}
+	return out
+}
+
+// SortBy sorts rows lexicographically by the named columns. It exists for
+// deterministic output in reports and tests.
+func (t *Table) SortBy(names ...string) error {
+	cols := make([]int, len(names))
+	for i, name := range names {
+		c := t.Schema.Index(name)
+		if c < 0 {
+			return fmt.Errorf("table: sort: no attribute %q", name)
+		}
+		cols[i] = c
+	}
+	sort.SliceStable(t.Rows, func(a, b int) bool {
+		ra, rb := t.Rows[a], t.Rows[b]
+		for _, c := range cols {
+			if ra[c] != rb[c] {
+				return ra[c] < rb[c]
+			}
+		}
+		return false
+	})
+	return nil
+}

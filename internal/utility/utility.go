@@ -1,0 +1,75 @@
+// Package utility implements the data-utility metrics used to rank
+// minimally sanitized bucketizations (§3.4 of the paper: among all minimal
+// (c,k)-safe tables, return the one maximizing a specified utility
+// function).
+package utility
+
+import "ckprivacy/internal/bucket"
+
+// Metric scores a bucketization; higher is better.
+type Metric interface {
+	Name() string
+	Score(bz *bucket.Bucketization) float64
+}
+
+// Discernibility is the negated discernibility metric Σ_b n_b²: each tuple
+// pays a penalty equal to its bucket size. Returned negated so that higher
+// is better.
+type Discernibility struct{}
+
+// Name implements Metric.
+func (Discernibility) Name() string { return "discernibility" }
+
+// Score implements Metric.
+func (Discernibility) Score(bz *bucket.Bucketization) float64 {
+	s := 0.0
+	for _, b := range bz.Buckets {
+		n := float64(b.Size())
+		s += n * n
+	}
+	return -s
+}
+
+// AvgClassSize is the negated average equivalence-class size n/|B| (the
+// C_avg metric without the 1/k normalization). Higher (i.e. smaller
+// classes) is better.
+type AvgClassSize struct{}
+
+// Name implements Metric.
+func (AvgClassSize) Name() string { return "avg-class-size" }
+
+// Score implements Metric.
+func (AvgClassSize) Score(bz *bucket.Bucketization) float64 {
+	if len(bz.Buckets) == 0 {
+		return 0
+	}
+	return -float64(bz.Size()) / float64(len(bz.Buckets))
+}
+
+// BucketCount scores by the number of buckets: finer partitions (closer to
+// the paper's B⊥) score higher.
+type BucketCount struct{}
+
+// Name implements Metric.
+func (BucketCount) Name() string { return "bucket-count" }
+
+// Score implements Metric.
+func (BucketCount) Score(bz *bucket.Bucketization) float64 {
+	return float64(len(bz.Buckets))
+}
+
+// Best returns the index in candidates of the highest-scoring
+// bucketization, or -1 for an empty slice. Ties keep the earliest
+// candidate, so deterministic candidate orderings give deterministic
+// results.
+func Best(m Metric, candidates []*bucket.Bucketization) int {
+	best := -1
+	var bestScore float64
+	for i, bz := range candidates {
+		s := m.Score(bz)
+		if best == -1 || s > bestScore {
+			best, bestScore = i, s
+		}
+	}
+	return best
+}

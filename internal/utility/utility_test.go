@@ -1,0 +1,68 @@
+package utility
+
+import (
+	"testing"
+
+	"ckprivacy/internal/bucket"
+)
+
+func TestDiscernibility(t *testing.T) {
+	fine := bucket.FromValues([]string{"a", "b"}, []string{"c", "d"})
+	coarse := bucket.FromValues([]string{"a", "b", "c", "d"})
+	m := Discernibility{}
+	if m.Score(fine) != -(4 + 4) {
+		t.Errorf("fine score = %v", m.Score(fine))
+	}
+	if m.Score(coarse) != -16 {
+		t.Errorf("coarse score = %v", m.Score(coarse))
+	}
+	if m.Score(fine) <= m.Score(coarse) {
+		t.Error("finer partition should score higher")
+	}
+	if m.Name() == "" {
+		t.Error("empty name")
+	}
+}
+
+func TestAvgClassSize(t *testing.T) {
+	fine := bucket.FromValues([]string{"a"}, []string{"b"}, []string{"c", "d"})
+	m := AvgClassSize{}
+	if got := m.Score(fine); got != -4.0/3 {
+		t.Errorf("score = %v", got)
+	}
+	if got := m.Score(&bucket.Bucketization{}); got != 0 {
+		t.Errorf("empty score = %v", got)
+	}
+	if m.Name() == "" {
+		t.Error("empty name")
+	}
+}
+
+func TestBucketCount(t *testing.T) {
+	bz := bucket.FromValues([]string{"a"}, []string{"b"})
+	if got := (BucketCount{}).Score(bz); got != 2 {
+		t.Errorf("score = %v", got)
+	}
+	if (BucketCount{}).Name() == "" {
+		t.Error("empty name")
+	}
+}
+
+func TestBest(t *testing.T) {
+	a := bucket.FromValues([]string{"a", "b", "c", "d"})                     // 1 bucket
+	b := bucket.FromValues([]string{"a", "b"}, []string{"c", "d"})           // 2 buckets
+	c := bucket.FromValues([]string{"a"}, []string{"b"}, []string{"c", "d"}) // 3 buckets
+	if got := Best(BucketCount{}, []*bucket.Bucketization{a, b, c}); got != 2 {
+		t.Errorf("Best = %d, want 2", got)
+	}
+	if got := Best(Discernibility{}, []*bucket.Bucketization{a, c}); got != 1 {
+		t.Errorf("Best = %d, want 1", got)
+	}
+	if got := Best(BucketCount{}, nil); got != -1 {
+		t.Errorf("Best(nil) = %d", got)
+	}
+	// Ties keep the earliest candidate.
+	if got := Best(BucketCount{}, []*bucket.Bucketization{b, b}); got != 0 {
+		t.Errorf("tie Best = %d, want 0", got)
+	}
+}

@@ -1,0 +1,334 @@
+package worlds
+
+import (
+	"fmt"
+	"math/big"
+
+	"ckprivacy/internal/logic"
+)
+
+// Result is a brute-force maximum-disclosure witness.
+type Result struct {
+	// Prob is the maximum disclosure.
+	Prob *big.Rat
+	// Target is the atom whose probability is maximized.
+	Target logic.Atom
+	// Phi is a maximizing knowledge formula.
+	Phi logic.Conjunction
+}
+
+// BruteOptions bounds the exponential searches.
+type BruteOptions struct {
+	// MaxWork caps (number of candidate formulas) × (number of worlds).
+	// Zero means DefaultMaxWork.
+	MaxWork int64
+}
+
+// DefaultMaxWork is the default work cap for brute-force searches.
+const DefaultMaxWork = int64(200_000_000)
+
+func (o BruteOptions) maxWork() int64 {
+	if o.MaxWork == 0 {
+		return DefaultMaxWork
+	}
+	return o.MaxWork
+}
+
+// atoms returns the satisfiable atoms of the instance: (person, value) pairs
+// where the value occurs in the person's bucket. Restricting to these is
+// without loss of generality for maximum disclosure: an always-false
+// antecedent makes an implication a tautology (dominated, since the maximum
+// is monotone in k), and an always-false consequent atom makes A → B
+// equivalent to ¬A, which is expressible with an in-bucket consequent
+// whenever the bucket has two distinct values (and is either a tautology or
+// inconsistent otherwise). TestBruteAtomRestrictionIsWLOG checks this
+// empirically against the unrestricted atom space.
+func (in Instance) atoms() []logic.Atom {
+	var out []logic.Atom
+	for _, b := range in.Buckets {
+		seen := map[string]bool{}
+		var distinct []string
+		for _, v := range b.Values {
+			if !seen[v] {
+				seen[v] = true
+				distinct = append(distinct, v)
+			}
+		}
+		for _, p := range b.Persons {
+			for _, v := range distinct {
+				out = append(out, logic.Atom{Person: p, Value: v})
+			}
+		}
+	}
+	return out
+}
+
+// allAtoms returns persons × full domain, including constant-false atoms;
+// used only by tests that verify the atoms() restriction.
+func (in Instance) allAtoms() []logic.Atom {
+	dom := in.Domain()
+	var out []logic.Atom
+	for _, p := range in.Persons() {
+		for _, v := range dom {
+			out = append(out, logic.Atom{Person: p, Value: v})
+		}
+	}
+	return out
+}
+
+// multisets enumerates all non-decreasing index vectors of length k over
+// [0, n), i.e. k-multisets; it stops early when yield returns false.
+func multisets(n, k int, yield func(idx []int) bool) {
+	idx := make([]int, k)
+	var rec func(pos, start int) bool
+	rec = func(pos, start int) bool {
+		if pos == k {
+			return yield(idx)
+		}
+		for i := start; i < n; i++ {
+			idx[pos] = i
+			if !rec(pos+1, i) {
+				return false
+			}
+		}
+		return true
+	}
+	rec(0, 0)
+}
+
+// multisetCount returns C(n+k-1, k) clamped to max.
+func multisetCount(n, k int, max int64) int64 {
+	c := big.NewInt(1)
+	for i := 0; i < k; i++ {
+		c.Mul(c, big.NewInt(int64(n+i)))
+		c.Div(c, big.NewInt(int64(i+1)))
+	}
+	if !c.IsInt64() || c.Int64() > max {
+		return max + 1
+	}
+	return c.Int64()
+}
+
+// maxOverTargets returns the largest Pr(C | B ∧ φ) over candidate target
+// atoms, or nil when φ is inconsistent with the bucketization.
+func (in Instance) maxOverTargets(phi logic.Conjunction, targets []logic.Atom) (*big.Rat, logic.Atom) {
+	den := int64(0)
+	nums := make([]int64, len(targets))
+	in.EnumWorlds(func(w logic.Assignment) bool {
+		if !phi.Eval(w) {
+			return true
+		}
+		den++
+		for i, c := range targets {
+			if c.Eval(w) {
+				nums[i]++
+			}
+		}
+		return true
+	})
+	if den == 0 {
+		return nil, logic.Atom{}
+	}
+	best, bestIdx := int64(-1), 0
+	for i, n := range nums {
+		if n > best {
+			best, bestIdx = n, i
+		}
+	}
+	return big.NewRat(best, den), targets[bestIdx]
+}
+
+// MaxDisclosureCommonConsequent computes the exact maximum of
+// Pr(C | B ∧ ∧_{i<k}(A_i → C)) over all atoms C, A_i — the form Theorem 9
+// proves sufficient for the worst case over L^k_basic. It is the oracle the
+// polynomial DP is tested against.
+func (in Instance) MaxDisclosureCommonConsequent(k int, opt BruteOptions) (Result, error) {
+	return in.commonConsequent(k, opt, false)
+}
+
+// MaxDisclosureCrossBucket is MaxDisclosureCommonConsequent restricted to
+// antecedent atoms about persons in buckets other than the consequent's —
+// the adversary class behind the paper's §2.3 example (10/19). It is the
+// oracle for core.Options.ForbidSameBucketAntecedent.
+func (in Instance) MaxDisclosureCrossBucket(k int, opt BruteOptions) (Result, error) {
+	return in.commonConsequent(k, opt, true)
+}
+
+func (in Instance) commonConsequent(k int, opt BruteOptions, crossOnly bool) (Result, error) {
+	atoms := in.atoms()
+	worlds := in.WorldCount()
+	if !worlds.IsInt64() {
+		return Result{}, fmt.Errorf("worlds: too many worlds")
+	}
+	sets := multisetCount(len(atoms), k, opt.maxWork())
+	work := int64(len(atoms)) * sets * worlds.Int64()
+	if work > opt.maxWork() || work < 0 {
+		return Result{}, fmt.Errorf("worlds: brute force needs ~%d world evaluations (cap %d)", work, opt.maxWork())
+	}
+
+	best := Result{Prob: new(big.Rat)}
+	for _, c := range atoms {
+		pool := atoms
+		if crossOnly {
+			// Antecedents must live in other buckets; the consequent
+			// itself stays available so the adversary can spend spare
+			// capacity on tautologies c → c, mirroring the DP's padding.
+			cb := in.BucketOf(c.Person)
+			pool = []logic.Atom{c}
+			for _, a := range atoms {
+				if in.BucketOf(a.Person) != cb {
+					pool = append(pool, a)
+				}
+			}
+		}
+		multisets(len(pool), k, func(idx []int) bool {
+			phi := make(logic.Conjunction, k)
+			for i, ai := range idx {
+				phi[i] = logic.SimpleImplication{Ante: pool[ai], Cons: c}.Basic()
+			}
+			p, err := in.CondProb(c, phi)
+			if err != nil {
+				return true // inconsistent knowledge: not valid attacker knowledge
+			}
+			if p.Cmp(best.Prob) > 0 {
+				best = Result{Prob: p, Target: c, Phi: phi}
+			}
+			return true
+		})
+	}
+	return best, nil
+}
+
+// MaxDisclosureUnrestricted computes the exact maximum disclosure over all
+// conjunctions of k simple implications with arbitrary antecedents and
+// consequents, maximizing over all target atoms. This validates Theorem 9
+// (it must agree with MaxDisclosureCommonConsequent). Exponentially more
+// expensive; only tiny instances are feasible.
+func (in Instance) MaxDisclosureUnrestricted(k int, opt BruteOptions) (Result, error) {
+	return in.unrestrictedOverAtoms(in.atoms(), k, opt)
+}
+
+// unrestrictedOverAtoms is MaxDisclosureUnrestricted over an explicit atom
+// space; tests use it with allAtoms to verify the atoms() restriction.
+func (in Instance) unrestrictedOverAtoms(atoms []logic.Atom, k int, opt BruteOptions) (Result, error) {
+	nImp := len(atoms) * len(atoms)
+	worlds := in.WorldCount()
+	if !worlds.IsInt64() {
+		return Result{}, fmt.Errorf("worlds: too many worlds")
+	}
+	sets := multisetCount(nImp, k, opt.maxWork())
+	work := sets * worlds.Int64()
+	if work > opt.maxWork() || work < 0 {
+		return Result{}, fmt.Errorf("worlds: brute force needs ~%d world evaluations (cap %d)", work, opt.maxWork())
+	}
+
+	imp := func(i int) logic.SimpleImplication {
+		return logic.SimpleImplication{Ante: atoms[i/len(atoms)], Cons: atoms[i%len(atoms)]}
+	}
+	best := Result{Prob: new(big.Rat)}
+	multisets(nImp, k, func(idx []int) bool {
+		phi := make(logic.Conjunction, k)
+		for i, ii := range idx {
+			phi[i] = imp(ii).Basic()
+		}
+		p, target := in.maxOverTargets(phi, atoms)
+		if p != nil && p.Cmp(best.Prob) > 0 {
+			best = Result{Prob: p, Target: target, Phi: phi}
+		}
+		return true
+	})
+	return best, nil
+}
+
+// MaxDisclosureTargeted computes the exact maximum of
+// Pr(target | B ∧ φ) over φ = conjunctions of k simple implications with
+// consequent target. By Lemmas 10 and 11 — which hold for any fixed
+// consequent — this common-consequent form attains the worst case over all
+// of L^k_basic for the fixed target, so this is the oracle for
+// core.TargetedMaxDisclosure.
+func (in Instance) MaxDisclosureTargeted(target logic.Atom, k int, opt BruteOptions) (Result, error) {
+	atoms := in.atoms()
+	worlds := in.WorldCount()
+	if !worlds.IsInt64() {
+		return Result{}, fmt.Errorf("worlds: too many worlds")
+	}
+	sets := multisetCount(len(atoms), k, opt.maxWork())
+	work := sets * worlds.Int64()
+	if work > opt.maxWork() || work < 0 {
+		return Result{}, fmt.Errorf("worlds: brute force needs ~%d world evaluations (cap %d)", work, opt.maxWork())
+	}
+	best := Result{Prob: new(big.Rat), Target: target}
+	multisets(len(atoms), k, func(idx []int) bool {
+		phi := make(logic.Conjunction, k)
+		for i, ai := range idx {
+			phi[i] = logic.SimpleImplication{Ante: atoms[ai], Cons: target}.Basic()
+		}
+		p, err := in.CondProb(target, phi)
+		if err != nil {
+			return true // inconsistent knowledge
+		}
+		if p.Cmp(best.Prob) > 0 {
+			best = Result{Prob: p, Target: target, Phi: phi}
+		}
+		return true
+	})
+	return best, nil
+}
+
+// MaxDisclosureNegations computes the exact maximum of
+// Pr(C | B ∧ ∧_{i<k} ¬A_i) over all target atoms C and all sets of k
+// distinct negated atoms (about any persons, not just the target). It is the
+// oracle for the closed-form ℓ-diversity adversary in internal/core.
+//
+// The negated atoms range over persons × the full domain: negating a value
+// absent from the person's bucket is a vacuous (but legal) piece of
+// knowledge, which matters when a bucket has fewer than k+1 distinct values.
+// Targets are restricted to satisfiable atoms.
+func (in Instance) MaxDisclosureNegations(k int, opt BruteOptions) (Result, error) {
+	targets := in.atoms()
+	atoms := in.allAtoms()
+	dom := in.Domain()
+	if len(dom) < 2 {
+		// A single-value domain admits no satisfiable-but-nontrivial
+		// negation; disclosure is 1 with no knowledge at all.
+		return Result{Prob: big.NewRat(1, 1), Target: atoms[0]}, nil
+	}
+	worlds := in.WorldCount()
+	if !worlds.IsInt64() {
+		return Result{}, fmt.Errorf("worlds: too many worlds")
+	}
+	// Distinct k-subsets of atoms: bounded by multisetCount, close enough
+	// for capping.
+	sets := multisetCount(len(atoms), k, opt.maxWork())
+	work := sets * worlds.Int64()
+	if work > opt.maxWork() || work < 0 {
+		return Result{}, fmt.Errorf("worlds: brute force needs ~%d world evaluations (cap %d)", work, opt.maxWork())
+	}
+
+	best := Result{Prob: new(big.Rat)}
+	idx := make([]int, k)
+	var rec func(pos, start int)
+	rec = func(pos, start int) {
+		if pos == k {
+			negAtoms := make([]logic.Atom, k)
+			for i, ai := range idx {
+				negAtoms[i] = atoms[ai]
+			}
+			phi, err := logic.Negations(negAtoms, dom)
+			if err != nil {
+				return
+			}
+			p, target := in.maxOverTargets(phi, targets)
+			if p != nil && p.Cmp(best.Prob) > 0 {
+				best = Result{Prob: p, Target: target, Phi: phi}
+			}
+			return
+		}
+		for i := start; i < len(atoms); i++ {
+			idx[pos] = i
+			rec(pos+1, i+1)
+		}
+	}
+	rec(0, 0)
+	return best, nil
+}

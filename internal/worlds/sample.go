@@ -1,0 +1,75 @@
+package worlds
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"ckprivacy/internal/logic"
+)
+
+// Estimate is a Monte-Carlo probability estimate with a confidence radius.
+type Estimate struct {
+	// Prob is the point estimate of Pr(target | B ∧ φ).
+	Prob float64
+	// StdErr is the standard error of the estimate (binomial, conditional
+	// on the accepted sample count).
+	StdErr float64
+	// Accepted counts sampled worlds satisfying φ (the conditioning
+	// event); Samples counts all sampled worlds.
+	Accepted, Samples int
+}
+
+// EstimateCondProb estimates Pr(target | B ∧ φ) by rejection sampling:
+// worlds are drawn uniformly (an independent random permutation of each
+// bucket's sensitive values, exactly the publishing process), worlds
+// violating φ are rejected, and the target frequency among accepted worlds
+// is returned.
+//
+// Computing this probability exactly is #P-complete (Theorem 8); the
+// worst case over all φ of a given size is polynomial (internal/core), but
+// evaluating one *specific* knowledge formula on a real-size bucketization
+// is only feasible approximately. The estimator errs when no sampled world
+// satisfies φ — either φ is inconsistent with B or its probability is too
+// small for the sample budget.
+func (in Instance) EstimateCondProb(target logic.Atom, phi logic.Conjunction, samples int, rng *rand.Rand) (Estimate, error) {
+	if samples <= 0 {
+		return Estimate{}, fmt.Errorf("worlds: sample budget must be positive, got %d", samples)
+	}
+	if rng == nil {
+		return Estimate{}, fmt.Errorf("worlds: nil random source")
+	}
+	// Pre-build per-bucket value slices to shuffle in place.
+	vals := make([][]string, len(in.Buckets))
+	for i, b := range in.Buckets {
+		vals[i] = append([]string(nil), b.Values...)
+	}
+	w := make(logic.Assignment, len(in.Persons()))
+	accepted, hits := 0, 0
+	for s := 0; s < samples; s++ {
+		for i, b := range in.Buckets {
+			v := vals[i]
+			rng.Shuffle(len(v), func(x, y int) { v[x], v[y] = v[y], v[x] })
+			for j, p := range b.Persons {
+				w[p] = v[j]
+			}
+		}
+		if !phi.Eval(w) {
+			continue
+		}
+		accepted++
+		if target.Eval(w) {
+			hits++
+		}
+	}
+	if accepted == 0 {
+		return Estimate{Samples: samples}, fmt.Errorf("worlds: no sampled world satisfied the knowledge (inconsistent or too rare for %d samples)", samples)
+	}
+	p := float64(hits) / float64(accepted)
+	return Estimate{
+		Prob:     p,
+		StdErr:   math.Sqrt(p * (1 - p) / float64(accepted)),
+		Accepted: accepted,
+		Samples:  samples,
+	}, nil
+}
