@@ -1,0 +1,38 @@
+# CI and humans run the same commands: the workflow in
+# .github/workflows/ci.yml calls the same go invocations these targets do.
+
+GO ?= go
+
+.PHONY: all build vet fmt fmt-check test race bench bench-json
+
+all: build vet fmt-check test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+## fmt rewrites files in place; fmt-check (used by CI) only reports.
+fmt:
+	gofmt -w .
+
+fmt-check:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "files need gofmt:" >&2; echo "$$out" >&2; exit 1; \
+	fi
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/...
+
+bench:
+	$(GO) test -bench=. -benchmem -run='^$$' ./...
+
+## bench-json mirrors the CI bench job: one iteration of everything,
+## emitted as a test2json stream for the perf trajectory.
+bench-json:
+	$(GO) test -bench=. -benchtime=1x -run='^$$' -json ./... | tee BENCH_local.json

@@ -3,6 +3,7 @@ package ckprivacy_test
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
 	"testing"
 
 	"ckprivacy"
@@ -40,6 +41,91 @@ func BenchmarkFigure6(b *testing.B) {
 			b.Fatal(err)
 		}
 		sinkF = res.Points[0].MinEntropy
+	}
+}
+
+// BenchmarkFigure6Workers is the serial-vs-parallel ablation on the
+// Figure 6 workload (the PR's headline number): the identical sweep over
+// all 72 generalizations of the full-size Adult table at worker budgets
+// 1, 2, 4 and all-cores. Compare ns/op across sub-benchmarks; results are
+// byte-identical at every budget.
+func BenchmarkFigure6Workers(b *testing.B) {
+	tab := mustAdult(b, ckprivacy.AdultDefaultN)
+	for _, workers := range []int{1, 2, 4, runtime.GOMAXPROCS(0)} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := ckprivacy.RunFig6Config(tab, ckprivacy.Fig6Config{Workers: workers})
+				if err != nil {
+					b.Fatal(err)
+				}
+				sinkF = res.Points[0].MinEntropy
+			}
+		})
+	}
+}
+
+// BenchmarkSafeSearchWorkers ablates the level-wise parallel lattice
+// searches on the §3.4 workload (4,000-tuple Adult, (0.8,3)-safety).
+func BenchmarkSafeSearchWorkers(b *testing.B) {
+	tab := mustAdult(b, 4000)
+	for _, method := range []string{"naive", "incognito"} {
+		for _, workers := range []int{1, 4} {
+			b.Run(fmt.Sprintf("%s/workers=%d", method, workers), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					p, err := ckprivacy.NewProblem(tab, ckprivacy.AdultHierarchies(), ckprivacy.AdultQI(),
+						ckprivacy.WithWorkers(workers))
+					if err != nil {
+						b.Fatal(err)
+					}
+					crit := ckprivacy.CKSafety{C: 0.8, K: 3, Engine: ckprivacy.NewEngine()}
+					if method == "naive" {
+						_, _, err = p.MinimalSafe(crit)
+					} else {
+						_, _, err = p.MinimalSafeIncognito(crit)
+					}
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkRiskProfileWorkers ablates the per-target sweep's worker budget
+// on a many-buckets bucketization.
+func BenchmarkRiskProfileWorkers(b *testing.B) {
+	bz := syntheticBuckets(1000, 8, 14, 13)
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			engine := ckprivacy.NewEngine()
+			for i := 0; i < b.N; i++ {
+				profile, err := engine.RiskProfileParallel(bz, 5, workers)
+				if err != nil {
+					b.Fatal(err)
+				}
+				sinkI = len(profile)
+			}
+		})
+	}
+}
+
+// BenchmarkSafetyGrid measures the (c,k) policy-grid sweep on a 4,000-tuple
+// Adult table, serial vs all-cores.
+func BenchmarkSafetyGrid(b *testing.B) {
+	tab := mustAdult(b, 4000)
+	cfg := ckprivacy.GridConfig{Cs: []float64{0.6, 0.8}, Ks: []int{1, 3, 5}}
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg.Workers = workers
+				res, err := ckprivacy.RunSafetyGrid(tab, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				sinkI = len(res.Cells)
+			}
+		})
 	}
 }
 

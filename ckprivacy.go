@@ -212,6 +212,8 @@ type (
 	// Problem is an anonymization task over a table, hierarchies and
 	// quasi-identifiers.
 	Problem = anonymize.Problem
+	// ProblemOption configures a Problem (e.g. WithWorkers).
+	ProblemOption = anonymize.Option
 	// Node is a generalization level per quasi-identifier.
 	Node = lattice.Node
 	// Space is the full-domain generalization lattice.
@@ -222,9 +224,18 @@ type (
 
 // NewProblem validates an anonymization task; qi fixes the lattice's
 // dimension order.
-func NewProblem(t *Table, hs Hierarchies, qi []string) (*Problem, error) {
-	return anonymize.NewProblem(t, hs, qi)
+func NewProblem(t *Table, hs Hierarchies, qi []string, opts ...ProblemOption) (*Problem, error) {
+	return anonymize.NewProblem(t, hs, qi, opts...)
 }
+
+// WithWorkers sets the lattice searches' worker budget: each level of the
+// generalization lattice is safety-checked on up to n goroutines (n <= 0
+// means one per CPU core; the default is 1). The nodes returned by every
+// search are byte-identical at every worker count, and the level-wise
+// searches (MinimalSafe, MinimalSafeIncognito) also report identical
+// SearchStats; ChainSearch's multi-section variant probes different chain
+// positions per round, so its Evaluated count varies with the budget.
+func WithWorkers(n int) ProblemOption { return anonymize.WithWorkers(n) }
 
 // Utility metrics.
 type (
@@ -270,6 +281,14 @@ type (
 // RunFig5 regenerates Figure 5 on an Adult-schema table.
 func RunFig5(t *Table, maxK int) (*Fig5Result, error) { return experiments.RunFig5(t, maxK) }
 
+// Fig5Config parameterizes RunFig5Config (knowledge bound and workers).
+type Fig5Config = experiments.Fig5Config
+
+// RunFig5Config is RunFig5 with the full configuration.
+func RunFig5Config(t *Table, cfg Fig5Config) (*Fig5Result, error) {
+	return experiments.RunFig5Config(t, cfg)
+}
+
 // RunFig6 regenerates Figure 6 (ks nil means the paper's 1,3,5,7,9,11).
 func RunFig6(t *Table, ks []int) (*Fig6Result, error) { return experiments.RunFig6(t, ks) }
 
@@ -284,3 +303,20 @@ func RunFig6Config(t *Table, cfg Fig6Config) (*Fig6Result, error) {
 
 // NewHospitalExample returns the paper's ten-patient running example.
 func NewHospitalExample() *HospitalExample { return experiments.HospitalExample() }
+
+// Policy-grid sweep (a §3.4-style experiment over many (c,k) choices).
+type (
+	// GridConfig parameterizes a (c,k)-safety policy sweep.
+	GridConfig = experiments.GridConfig
+	// GridResult holds the sweep; Cells[i][j] is the (Cs[i], Ks[j]) cell.
+	GridResult = experiments.GridResult
+	// GridCell is one (c,k) policy's outcome.
+	GridCell = experiments.GridCell
+)
+
+// RunSafetyGrid finds, for every (c,k) on the grid, the lowest safe node on
+// the canonical generalization chain of the Adult lattice, sweeping cells
+// on the configured worker budget.
+func RunSafetyGrid(t *Table, cfg GridConfig) (*GridResult, error) {
+	return experiments.RunSafetyGrid(t, cfg)
+}

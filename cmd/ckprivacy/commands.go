@@ -95,6 +95,7 @@ func cmdSafe(args []string) error {
 	k := fs.Int("k", 3, "background knowledge bound")
 	method := fs.String("method", "incognito", "search method: naive | incognito | chain")
 	metricName := fs.String("utility", "discernibility", "utility metric: discernibility | avg | buckets")
+	workers := workersFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -102,7 +103,8 @@ func cmdSafe(args []string) error {
 	if err != nil {
 		return err
 	}
-	p, err := ckprivacy.NewProblem(tab, ckprivacy.AdultHierarchies(), ckprivacy.AdultQI())
+	p, err := ckprivacy.NewProblem(tab, ckprivacy.AdultHierarchies(), ckprivacy.AdultQI(),
+		ckprivacy.WithWorkers(*workers))
 	if err != nil {
 		return err
 	}
@@ -141,7 +143,8 @@ func cmdSafe(args []string) error {
 		return err
 	}
 	fmt.Printf("criterion:   %s\n", crit.Name())
-	fmt.Printf("method:      %s (%d checks, %d inferred)\n", *method, stats.Evaluated, stats.Inferred)
+	fmt.Printf("method:      %s (%d checks, %d inferred, %d workers)\n",
+		*method, stats.Evaluated, stats.Inferred, p.Workers())
 	if len(nodes) == 0 {
 		fmt.Println("result:      no safe generalization exists (even fully suppressed)")
 		return nil
@@ -169,6 +172,7 @@ func cmdFig5(args []string) error {
 	maxK := fs.Int("maxk", 12, "largest knowledge bound")
 	asCSV := fs.Bool("as-csv", false, "emit CSV instead of a text table")
 	svg := fs.String("svg", "", "also write the figure as an SVG chart to this file")
+	workers := workersFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -176,7 +180,7 @@ func cmdFig5(args []string) error {
 	if err != nil {
 		return err
 	}
-	res, err := ckprivacy.RunFig5(tab, *maxK)
+	res, err := ckprivacy.RunFig5Config(tab, ckprivacy.Fig5Config{MaxK: *maxK, Workers: *workers})
 	if err != nil {
 		return err
 	}
@@ -200,6 +204,7 @@ func cmdFig6(args []string) error {
 	negation := fs.Bool("negation", false,
 		"also compute the negated-atom analogue (unshown in the paper)")
 	svg := fs.String("svg", "", "also write the figure as an SVG chart to this file")
+	workers := workersFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -211,7 +216,8 @@ func cmdFig6(args []string) error {
 	if err != nil {
 		return err
 	}
-	res, err := ckprivacy.RunFig6Config(tab, ckprivacy.Fig6Config{Ks: ks, Negation: *negation})
+	res, err := ckprivacy.RunFig6Config(tab,
+		ckprivacy.Fig6Config{Ks: ks, Negation: *negation, Workers: *workers})
 	if err != nil {
 		return err
 	}
@@ -229,6 +235,39 @@ func cmdFig6(args []string) error {
 				fmt.Printf("  k=%-2d ends at h=%.3f with %.4f\n", k, last.MinEntropy, last.Disclosure)
 			}
 		}()
+	}
+	if *asCSV {
+		return res.WriteCSV(os.Stdout)
+	}
+	return res.Render(os.Stdout)
+}
+
+func cmdGrid(args []string) error {
+	fs := flag.NewFlagSet("grid", flag.ContinueOnError)
+	var data dataFlags
+	data.register(fs)
+	csStr := fs.String("cs", "0.5,0.6,0.7,0.8,0.9", "comma-separated disclosure thresholds")
+	ksStr := fs.String("ks", "1,3,5,7,9,11", "comma-separated knowledge bounds")
+	asCSV := fs.Bool("as-csv", false, "emit CSV instead of a text table")
+	workers := workersFlag(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	tab, err := data.load()
+	if err != nil {
+		return err
+	}
+	cs, err := parseCs(*csStr)
+	if err != nil {
+		return err
+	}
+	ks, err := parseKs(*ksStr)
+	if err != nil {
+		return err
+	}
+	res, err := ckprivacy.RunSafetyGrid(tab, ckprivacy.GridConfig{Cs: cs, Ks: ks, Workers: *workers})
+	if err != nil {
+		return err
 	}
 	if *asCSV {
 		return res.WriteCSV(os.Stdout)

@@ -36,6 +36,16 @@ func (d *dataFlags) load() (*ckprivacy.Table, error) {
 	return ckprivacy.ReadCSV(f, ckprivacy.AdultSchema())
 }
 
+// workersFlag registers the shared -workers flag: 1 (the default) is fully
+// serial, 0 or negative uses one worker per CPU core. All parallel paths
+// produce results identical to serial, with two caveats: estimate's
+// Monte-Carlo stream is reproducible per (seed, workers) pair but differs
+// across worker counts, and chain search's reported check count varies
+// with the budget (multi-section probing finds the same node).
+func workersFlag(fs *flag.FlagSet) *int {
+	return fs.Int("workers", 1, "worker goroutines (<= 0 means one per CPU core)")
+}
+
 // parseLevels parses "Age=3,MaritalStatus=2,Race=1,Sex=1" into Levels.
 func parseLevels(s string) (ckprivacy.Levels, error) {
 	levels := ckprivacy.Levels{}
@@ -54,6 +64,22 @@ func parseLevels(s string) (ckprivacy.Levels, error) {
 		levels[strings.TrimSpace(kv[0])] = lvl
 	}
 	return levels, nil
+}
+
+// parseCs parses "0.5,0.7" into a slice of thresholds.
+func parseCs(s string) ([]float64, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		c, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad c %q: %v", part, err)
+		}
+		out = append(out, c)
+	}
+	return out, nil
 }
 
 // parseKs parses "1,3,5" into a slice of ints.

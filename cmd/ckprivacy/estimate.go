@@ -3,7 +3,6 @@ package main
 import (
 	"flag"
 	"fmt"
-	"math/rand"
 
 	"ckprivacy"
 )
@@ -21,6 +20,7 @@ func cmdEstimate(args []string) error {
 	phiStr := fs.String("phi", "", "knowledge: ';'-separated implications, e.g. 't[3]=Sales -> t[17]=Sales'")
 	samples := fs.Int("samples", 200000, "Monte-Carlo sample budget")
 	seed := fs.Int64("sample-seed", 1, "sampler seed")
+	workers := workersFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -51,14 +51,14 @@ func cmdEstimate(args []string) error {
 	if err != nil {
 		return err
 	}
-	est, err := in.EstimateCondProb(target, phi, *samples, rand.New(rand.NewSource(*seed)))
+	est, err := in.EstimateCondProbParallel(target, phi, *samples, *workers, *seed)
 	if err != nil {
 		return err
 	}
 	fmt.Printf("Pr(%s | B ∧ φ) ≈ %.4f ± %.4f  (accepted %d of %d samples)\n",
 		target, est.Prob, est.StdErr, est.Accepted, est.Samples)
 	if len(phi) > 0 {
-		base, err := in.EstimateCondProb(target, nil, *samples, rand.New(rand.NewSource(*seed+1)))
+		base, err := in.EstimateCondProbParallel(target, nil, *samples, *workers, *seed+1)
 		if err != nil {
 			return err
 		}

@@ -2,12 +2,17 @@
 //
 //	ckprivacy gen      — generate the synthetic Adult dataset as CSV
 //	ckprivacy disclose — compute maximum disclosure of a generalization
+//	ckprivacy risk     — per-(bucket, value) worst-case risk profile
+//	ckprivacy estimate — Monte-Carlo posterior for a specific formula
 //	ckprivacy safe     — search for minimal (c,k)-safe generalizations
+//	ckprivacy grid     — sweep safe generalizations over a (c,k) grid
 //	ckprivacy fig5     — regenerate the paper's Figure 5
 //	ckprivacy fig6     — regenerate the paper's Figure 6
 //	ckprivacy example  — walk the paper's §1 worked example
 //
-// Run "ckprivacy <command> -h" for per-command flags.
+// Run "ckprivacy <command> -h" for per-command flags. The compute-heavy
+// commands (safe, grid, risk, estimate, fig5, fig6) accept -workers to run
+// on several CPU cores.
 package main
 
 import (
@@ -39,6 +44,8 @@ func run(args []string) error {
 		return cmdEstimate(rest)
 	case "safe":
 		return cmdSafe(rest)
+	case "grid":
+		return cmdGrid(rest)
 	case "fig5":
 		return cmdFig5(rest)
 	case "fig6":
@@ -63,6 +70,7 @@ commands:
   risk      per-(bucket, value) worst-case risk profile
   estimate  Monte-Carlo posterior for a specific knowledge formula
   safe      find minimal (c,k)-safe generalizations
+  grid      sweep lowest safe generalizations over a (c,k) grid
   fig5      regenerate Figure 5 (disclosure vs background knowledge)
   fig6      regenerate Figure 6 (entropy vs disclosure)
   example   walk the paper's worked example

@@ -70,6 +70,14 @@ func TestCommandsSmoke(t *testing.T) {
 		{"fig6", "-n", "400", "-ks", "1,3", "-negation"},
 		{"estimate", "-n", "400", "-samples", "2000", "-target", "t[0]=Sales",
 			"-phi", "t[1]=Sales -> t[0]=Sales"},
+		{"safe", "-n", "400", "-c", "0.9", "-k", "1", "-method", "naive", "-workers", "4"},
+		{"risk", "-n", "400", "-k", "2", "-top", "5", "-workers", "0"},
+		{"estimate", "-n", "400", "-samples", "2000", "-target", "t[0]=Sales",
+			"-phi", "t[1]=Sales -> t[0]=Sales", "-workers", "4"},
+		{"fig5", "-n", "400", "-maxk", "3", "-workers", "2", "-as-csv"},
+		{"fig6", "-n", "400", "-ks", "1,3", "-workers", "0", "-as-csv"},
+		{"grid", "-n", "400", "-cs", "0.7,0.9", "-ks", "1,3", "-workers", "0"},
+		{"grid", "-n", "400", "-cs", "0.9", "-ks", "1", "-as-csv"},
 	}
 	for _, args := range cases {
 		if err := run(args); err != nil {
@@ -89,6 +97,9 @@ func TestCommandsErrors(t *testing.T) {
 		{"estimate", "-n", "200"},                  // missing target
 		{"estimate", "-n", "200", "-target", "zz"}, // bad atom
 		{"estimate", "-n", "200", "-target", "t[0]=Sales", "-phi", "junk"},
+		{"grid", "-n", "200", "-cs", "0.5,x"},
+		{"grid", "-n", "200", "-ks", "1,x"},
+		{"grid", "-n", "200", "-cs", "1.5"},
 	}
 	for _, args := range cases {
 		if err := run(args); err == nil {

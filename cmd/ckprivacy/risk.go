@@ -20,6 +20,7 @@ func cmdRisk(args []string) error {
 	top := fs.Int("top", 20, "show only the N riskiest (bucket, value) pairs")
 	weightsStr := fs.String("weights", "",
 		"optional value sensitivity weights, e.g. 'Priv-house-serv=1,Sales=0.2' (others default to 1)")
+	workers := workersFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -36,7 +37,7 @@ func cmdRisk(args []string) error {
 		return err
 	}
 	engine := ckprivacy.NewEngine()
-	profile, err := engine.RiskProfile(bz, *k)
+	profile, err := engine.RiskProfileParallel(bz, *k, *workers)
 	if err != nil {
 		return err
 	}

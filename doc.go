@@ -18,6 +18,15 @@
 //     threshold c — the paper's (c,k)-safety — via monotone lattice search,
 //     binary search on chains (Theorem 14), or Incognito.
 //
+// The lattice searches run level-wise parallel when given a worker budget
+// (NewProblem with WithWorkers, or -workers on the CLI): every
+// not-yet-pruned node of one lattice height is evaluated concurrently and
+// monotone pruning acts as a barrier between levels, so results — node
+// sets, order, and search statistics — are byte-identical to the serial
+// searches at any worker count. The same pool drives the experiment
+// sweeps (RunFig5Config, RunFig6Config, RunSafetyGrid), the per-target
+// risk profile and Monte-Carlo estimation.
+//
 // Quick start:
 //
 //	bz := ckprivacy.FromValues(
@@ -28,9 +37,11 @@
 //
 // The packages under internal/ hold the implementation: internal/core (the
 // disclosure DP), internal/bucket, internal/hierarchy, internal/lattice,
-// internal/logic and internal/worlds (an exact, exponential-time
-// random-worlds oracle used to validate the DP), internal/privacy,
-// internal/anonymize, internal/dataset/adult (a synthetic stand-in for the
-// UCI Adult dataset) and internal/experiments (regenerates the paper's
-// figures). This package re-exports the supported API surface.
+// internal/parallel (the bounded worker pool behind the level-wise
+// searches), internal/logic and internal/worlds (an exact,
+// exponential-time random-worlds oracle used to validate the DP),
+// internal/privacy, internal/anonymize, internal/dataset/adult (a
+// synthetic stand-in for the UCI Adult dataset) and internal/experiments
+// (regenerates the paper's figures and sweeps (c,k) policy grids). This
+// package re-exports the supported API surface.
 package ckprivacy

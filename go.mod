@@ -1,0 +1,3 @@
+module ckprivacy
+
+go 1.24

@@ -7,11 +7,11 @@ package anonymize
 
 import (
 	"fmt"
-	"sync"
 
 	"ckprivacy/internal/bucket"
 	"ckprivacy/internal/hierarchy"
 	"ckprivacy/internal/lattice"
+	"ckprivacy/internal/parallel"
 	"ckprivacy/internal/privacy"
 	"ckprivacy/internal/table"
 	"ckprivacy/internal/utility"
@@ -25,14 +25,28 @@ type Problem struct {
 	// dimension order.
 	QI []string
 
-	space lattice.Space
+	space   lattice.Space
+	workers int
 
-	mu    sync.Mutex
-	cache map[string]*bucket.Bucketization
+	cache *bucketizeCache
+}
+
+// Option configures a Problem at construction.
+type Option func(*Problem)
+
+// WithWorkers sets the worker budget for the lattice searches: node
+// predicates of one lattice level are bucketized and safety-checked on up
+// to n goroutines. n <= 0 means one worker per CPU core. The default is 1
+// (fully serial). Every search returns byte-identical nodes at every
+// worker count; the level-wise searches also report identical Stats, while
+// ChainSearch's Evaluated count varies with the budget (multi-section
+// probing).
+func WithWorkers(n int) Option {
+	return func(p *Problem) { p.workers = parallel.Workers(n) }
 }
 
 // NewProblem validates the inputs and precomputes the lattice shape.
-func NewProblem(t *table.Table, hs hierarchy.Set, qi []string) (*Problem, error) {
+func NewProblem(t *table.Table, hs hierarchy.Set, qi []string, opts ...Option) (*Problem, error) {
 	if t == nil || t.Len() == 0 {
 		return nil, fmt.Errorf("anonymize: empty table")
 	}
@@ -56,17 +70,25 @@ func NewProblem(t *table.Table, hs hierarchy.Set, qi []string) (*Problem, error)
 	if err != nil {
 		return nil, fmt.Errorf("anonymize: %w", err)
 	}
-	return &Problem{
+	p := &Problem{
 		Table:       t,
 		Hierarchies: hs,
 		QI:          append([]string(nil), qi...),
 		space:       space,
-		cache:       make(map[string]*bucket.Bucketization),
-	}, nil
+		workers:     1,
+		cache:       newBucketizeCache(),
+	}
+	for _, opt := range opts {
+		opt(p)
+	}
+	return p, nil
 }
 
 // Space returns the full-domain generalization lattice.
 func (p *Problem) Space() lattice.Space { return p.space }
+
+// Workers returns the resolved worker budget (at least 1).
+func (p *Problem) Workers() int { return p.workers }
 
 // Bucketize materializes the bucketization at a lattice node. Attributes
 // outside the problem's QI list are fully ignored for grouping only if they
@@ -122,20 +144,14 @@ func (p *Problem) BucketizeSubset(subset []int, node lattice.Node) (*bucket.Buck
 	}
 
 	key := cacheKey(subset, node)
-	p.mu.Lock()
-	if bz, ok := p.cache[key]; ok {
-		p.mu.Unlock()
+	if bz, ok := p.cache.get(key); ok {
 		return bz, nil
 	}
-	p.mu.Unlock()
-
 	bz, err := bucket.FromGeneralization(p.Table, p.Hierarchies, levels)
 	if err != nil {
 		return nil, err
 	}
-	p.mu.Lock()
-	p.cache[key] = bz
-	p.mu.Unlock()
+	p.cache.put(key, bz)
 	return bz, nil
 }
 
@@ -155,13 +171,20 @@ func (p *Problem) Pred(crit privacy.Criterion) lattice.Pred {
 }
 
 // MinimalSafe returns all ⪯-minimal lattice nodes satisfying the criterion
-// using the generic bottom-up monotone search.
+// using the bottom-up monotone search, evaluating each lattice level on the
+// problem's worker budget. The criterion's Satisfied must be safe for
+// concurrent calls when the budget exceeds 1 (all criteria in
+// internal/privacy are).
 func (p *Problem) MinimalSafe(crit privacy.Criterion) ([]lattice.Node, lattice.Stats, error) {
-	return lattice.MinimalSatisfying(p.space, p.Pred(crit))
+	if p.workers == 1 {
+		return lattice.MinimalSatisfying(p.space, p.Pred(crit))
+	}
+	return lattice.MinimalSatisfyingParallel(p.space, p.Pred(crit), p.workers)
 }
 
 // MinimalSafeIncognito returns the same minimal nodes via Incognito's
-// subset-pruned search.
+// subset-pruned search, parallelized level-wise across same-size subset
+// lattices when the worker budget exceeds 1.
 func (p *Problem) MinimalSafeIncognito(crit privacy.Criterion) ([]lattice.Node, lattice.Stats, error) {
 	check := func(subset []int, node lattice.Node) (bool, error) {
 		bz, err := p.BucketizeSubset(subset, node)
@@ -170,16 +193,29 @@ func (p *Problem) MinimalSafeIncognito(crit privacy.Criterion) ([]lattice.Node, 
 		}
 		return crit.Satisfied(bz)
 	}
-	return lattice.Incognito(p.space, check)
+	if p.workers == 1 {
+		return lattice.Incognito(p.space, check)
+	}
+	return lattice.IncognitoParallel(p.space, check, p.workers)
 }
 
-// ChainSearch binary-searches the canonical chain from the most specific to
-// the fully generalized node (Theorem 14 makes the predicate monotone along
-// it) and returns the lowest safe node on that chain, or ok=false when even
-// the top node fails.
+// ChainSearch searches the canonical chain from the most specific to the
+// fully generalized node (Theorem 14 makes the predicate monotone along it)
+// and returns the lowest safe node on that chain, or ok=false when even the
+// top node fails. With a worker budget above 1 the binary search becomes a
+// multi-section search probing `workers` chain positions per round.
 func (p *Problem) ChainSearch(crit privacy.Criterion) (lattice.Node, bool, lattice.Stats, error) {
 	chain := p.space.Chain()
-	idx, stats, err := lattice.BinarySearchChain(chain, p.Pred(crit))
+	var (
+		idx   int
+		stats lattice.Stats
+		err   error
+	)
+	if p.workers == 1 {
+		idx, stats, err = lattice.BinarySearchChain(chain, p.Pred(crit))
+	} else {
+		idx, stats, err = lattice.BinarySearchChainParallel(chain, p.Pred(crit), p.workers)
+	}
 	if err != nil {
 		return nil, false, stats, err
 	}
@@ -197,12 +233,16 @@ func (p *Problem) BestByUtility(nodes []lattice.Node, m utility.Metric) (int, *b
 		return -1, nil, fmt.Errorf("anonymize: no candidate nodes")
 	}
 	bzs := make([]*bucket.Bucketization, len(nodes))
-	for i, n := range nodes {
-		bz, err := p.Bucketize(n)
+	err := parallel.ForEach(p.workers, len(nodes), func(i int) error {
+		bz, err := p.Bucketize(nodes[i])
 		if err != nil {
-			return -1, nil, err
+			return err
 		}
 		bzs[i] = bz
+		return nil
+	})
+	if err != nil {
+		return -1, nil, err
 	}
 	best := utility.Best(m, bzs)
 	return best, bzs[best], nil

@@ -1,0 +1,71 @@
+package anonymize
+
+import (
+	"hash/fnv"
+	"sync"
+
+	"ckprivacy/internal/bucket"
+)
+
+// cacheShards is the shard count of the bucketization cache. 32 keeps lock
+// contention negligible for any realistic worker budget while costing only
+// 32 small maps.
+const cacheShards = 32
+
+// bucketizeCache is a sharded, concurrency-safe map from (subset, node)
+// cache keys to materialized bucketizations. The level-wise parallel
+// searches hit it from every worker at once; sharding by key hash keeps the
+// fast path (read of an existing entry) off a single global lock.
+//
+// Entries are immutable once stored: a racing put of the same key is
+// harmless because FromGeneralization is deterministic, so both values are
+// interchangeable.
+type bucketizeCache struct {
+	shards [cacheShards]struct {
+		mu sync.RWMutex
+		m  map[string]*bucket.Bucketization
+	}
+}
+
+func newBucketizeCache() *bucketizeCache {
+	c := &bucketizeCache{}
+	for i := range c.shards {
+		c.shards[i].m = make(map[string]*bucket.Bucketization)
+	}
+	return c
+}
+
+func (c *bucketizeCache) shard(key string) *struct {
+	mu sync.RWMutex
+	m  map[string]*bucket.Bucketization
+} {
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return &c.shards[h.Sum32()%cacheShards]
+}
+
+func (c *bucketizeCache) get(key string) (*bucket.Bucketization, bool) {
+	s := c.shard(key)
+	s.mu.RLock()
+	bz, ok := s.m[key]
+	s.mu.RUnlock()
+	return bz, ok
+}
+
+func (c *bucketizeCache) put(key string, bz *bucket.Bucketization) {
+	s := c.shard(key)
+	s.mu.Lock()
+	s.m[key] = bz
+	s.mu.Unlock()
+}
+
+// size reports the number of cached bucketizations (for tests).
+func (c *bucketizeCache) size() int {
+	n := 0
+	for i := range c.shards {
+		c.shards[i].mu.RLock()
+		n += len(c.shards[i].m)
+		c.shards[i].mu.RUnlock()
+	}
+	return n
+}

@@ -1,0 +1,164 @@
+package anonymize
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"ckprivacy/internal/core"
+	"ckprivacy/internal/lattice"
+	"ckprivacy/internal/privacy"
+)
+
+// hospitalWorkers is hospital with a worker budget.
+func hospitalWorkers(t *testing.T, workers int) *Problem {
+	t.Helper()
+	base := hospital(t)
+	p, err := NewProblem(base.Table, base.Hierarchies, base.QI, WithWorkers(workers))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestWithWorkersResolution(t *testing.T) {
+	if w := hospital(t).Workers(); w != 1 {
+		t.Errorf("default workers = %d, want 1", w)
+	}
+	if w := hospitalWorkers(t, 3).Workers(); w != 3 {
+		t.Errorf("workers = %d, want 3", w)
+	}
+	if w := hospitalWorkers(t, 0).Workers(); w < 1 {
+		t.Errorf("workers = %d, want >= 1 (GOMAXPROCS)", w)
+	}
+}
+
+// TestParallelSearchesMatchSerial is the cross-layer equivalence test: the
+// searches must return identical node sequences AND identical Stats at any
+// worker budget, for every criterion.
+func TestParallelSearchesMatchSerial(t *testing.T) {
+	serial := hospital(t)
+	engine := core.NewEngine()
+	criteria := []privacy.Criterion{
+		privacy.KAnonymity{K: 2},
+		privacy.KAnonymity{K: 5},
+		privacy.DistinctLDiversity{L: 3},
+		privacy.CKSafety{C: 0.7, K: 1, Engine: engine},
+		privacy.CKSafety{C: 0.99, K: 2, Engine: engine},
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		par := hospitalWorkers(t, workers)
+		for _, crit := range criteria {
+			sN, sStats, err := serial.MinimalSafe(crit)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pN, pStats, err := par.MinimalSafe(crit)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !sameNodeOrder(sN, pN) || sStats != pStats {
+				t.Errorf("workers=%d %s: MinimalSafe %v/%+v != serial %v/%+v",
+					workers, crit.Name(), pN, pStats, sN, sStats)
+			}
+
+			sN, sStats, err = serial.MinimalSafeIncognito(crit)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pN, pStats, err = par.MinimalSafeIncognito(crit)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !sameNodeOrder(sN, pN) || sStats != pStats {
+				t.Errorf("workers=%d %s: Incognito %v/%+v != serial %v/%+v",
+					workers, crit.Name(), pN, pStats, sN, sStats)
+			}
+
+			sNode, sOK, _, err := serial.ChainSearch(crit)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pNode, pOK, _, err := par.ChainSearch(crit)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if sOK != pOK || (sOK && sNode.Key() != pNode.Key()) {
+				t.Errorf("workers=%d %s: ChainSearch %v/%v != serial %v/%v",
+					workers, crit.Name(), pNode, pOK, sNode, sOK)
+			}
+		}
+	}
+}
+
+// TestBucketizeCacheConcurrent hammers one problem's cache from many
+// goroutines; correctness is checked by value identity (every goroutine
+// must observe a valid bucketization for its node) and the race detector
+// does the rest.
+func TestBucketizeCacheConcurrent(t *testing.T) {
+	p := hospitalWorkers(t, 8)
+	nodes := p.Space().All()
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for rep := 0; rep < 5; rep++ {
+				for _, n := range nodes {
+					bz, err := p.Bucketize(n)
+					if err != nil {
+						errs <- err
+						return
+					}
+					if bz.Size() != p.Table.Len() {
+						errs <- fmt.Errorf("node %v: size %d != %d", n, bz.Size(), p.Table.Len())
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if got := p.cache.size(); got != len(nodes) {
+		t.Errorf("cache size = %d, want %d", got, len(nodes))
+	}
+}
+
+// TestCacheKeyCollisionFree asserts distinct (subset, node) pairs map to
+// distinct cache keys across the hospital lattice's Incognito traversal.
+func TestCacheKeyCollisionFree(t *testing.T) {
+	seen := map[string][2]string{}
+	add := func(subset []int, node lattice.Node) {
+		key := cacheKey(subset, node)
+		id := [2]string{lattice.Node(subset).String(), node.String()}
+		if prev, ok := seen[key]; ok && prev != id {
+			t.Fatalf("cache key %q shared by %v and %v", key, prev, id)
+		}
+		seen[key] = id
+	}
+	s := lattice.MustSpace(3, 3, 2)
+	for _, n := range s.All() {
+		add([]int{0, 1, 2}, n)
+	}
+	sub, _ := s.SubSpace([]int{1})
+	for _, n := range sub.All() {
+		add([]int{1}, n)
+	}
+}
+
+func sameNodeOrder(a, b []lattice.Node) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Key() != b[i].Key() {
+			return false
+		}
+	}
+	return true
+}

@@ -12,9 +12,14 @@ import (
 // §3.3.3 remark about incremental recomputation when bucketizations share
 // buckets (as the Figure 6 sweep over 72 generalizations heavily does).
 //
-// An Engine is safe for concurrent use.
+// An Engine is safe for concurrent use: lookups take a read lock, and a
+// missing entry is computed outside the lock entirely, so the level-wise
+// parallel searches never serialize their DP work on the memo. Two workers
+// racing on the same missing entry may both compute it — m1Compute is
+// deterministic, so either result is the same value and the first store
+// wins.
 type Engine struct {
-	mu   sync.Mutex
+	mu   sync.RWMutex
 	memo map[string]map[int]m1Entry
 }
 
@@ -25,18 +30,25 @@ func NewEngine() *Engine {
 
 // m1 returns the memoized MINIMIZE1 entry for a bucket signature.
 func (e *Engine) m1(sig string, hist []int, j int) m1Entry {
+	e.mu.RLock()
+	entry, ok := e.memo[sig][j]
+	e.mu.RUnlock()
+	if ok {
+		return entry
+	}
+	entry = m1Compute(hist, j)
 	e.mu.Lock()
-	defer e.mu.Unlock()
 	byJ, ok := e.memo[sig]
 	if !ok {
 		byJ = make(map[int]m1Entry)
 		e.memo[sig] = byJ
 	}
-	entry, ok := byJ[j]
-	if !ok {
-		entry = m1Compute(hist, j)
+	if prev, ok := byJ[j]; ok {
+		entry = prev
+	} else {
 		byJ[j] = entry
 	}
+	e.mu.Unlock()
 	return entry
 }
 

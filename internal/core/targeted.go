@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"ckprivacy/internal/bucket"
+	"ckprivacy/internal/parallel"
 )
 
 // This file extends the paper's worst-case machinery to a *fixed* target
@@ -264,17 +265,36 @@ type Risk struct {
 // pair with the value present in the bucket, sharing all DP state across
 // targets. Entries follow bucket order, then the bucket's frequency order.
 func (e *Engine) RiskProfile(bz *bucket.Bucketization, k int) ([]Risk, error) {
+	return e.RiskProfileParallel(bz, k, 1)
+}
+
+// RiskProfileParallel is RiskProfile with the per-target DPs evaluated on
+// up to `workers` goroutines (workers <= 0 means one per CPU core). The
+// shared rest tables are built once up front; each target's own DP is
+// independent, so the profile is identical to the serial one in content and
+// order.
+func (e *Engine) RiskProfileParallel(bz *bucket.Bucketization, k, workers int) ([]Risk, error) {
 	if err := checkArgs(bz, k); err != nil {
 		return nil, err
 	}
 	views := makeViews(bz)
 	t := e.buildRest(views, k)
-	var out []Risk
+	type target struct{ bi, r int }
+	var targets []target
 	for bi, v := range views {
 		for r := range v.hist {
-			d := disclosureFromRatio(e.targetedRatio(views, t, bi, r, k))
-			out = append(out, Risk{BucketIdx: bi, Value: v.b.Freq()[r].Value, Disclosure: d})
+			targets = append(targets, target{bi: bi, r: r})
 		}
+	}
+	out := make([]Risk, len(targets))
+	err := parallel.ForEach(workers, len(targets), func(i int) error {
+		tg := targets[i]
+		d := disclosureFromRatio(e.targetedRatio(views, t, tg.bi, tg.r, k))
+		out[i] = Risk{BucketIdx: tg.bi, Value: views[tg.bi].b.Freq()[tg.r].Value, Disclosure: d}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

@@ -11,6 +11,7 @@ import (
 	"ckprivacy/internal/bucket"
 	"ckprivacy/internal/core"
 	"ckprivacy/internal/dataset/adult"
+	"ckprivacy/internal/parallel"
 	"ckprivacy/internal/table"
 )
 
@@ -40,10 +41,27 @@ type Fig5Result struct {
 	MinEntropy float64
 }
 
+// Fig5Config parameterizes RunFig5Config.
+type Fig5Config struct {
+	// MaxK is the largest knowledge bound; 0 means the paper's 12.
+	MaxK int
+	// Workers bounds the goroutines computing the figure's two disclosure
+	// curves; values below 1 mean one worker per CPU core. The implication
+	// and negation series are independent and run concurrently when the
+	// budget allows; the result is identical at every worker count.
+	Workers int
+}
+
 // RunFig5 computes Figure 5 for the given Adult-schema table. maxK defaults
 // to 12, matching the paper (with 14 occupation values, disclosure
 // certainly reaches 1 at k = 13).
 func RunFig5(tab *table.Table, maxK int) (*Fig5Result, error) {
+	return RunFig5Config(tab, Fig5Config{MaxK: maxK})
+}
+
+// RunFig5Config is RunFig5 with the full configuration.
+func RunFig5Config(tab *table.Table, cfg Fig5Config) (*Fig5Result, error) {
+	maxK := cfg.MaxK
 	if maxK == 0 {
 		maxK = 12
 	}
@@ -55,13 +73,25 @@ func RunFig5(tab *table.Table, maxK int) (*Fig5Result, error) {
 		return nil, fmt.Errorf("experiments: fig5 bucketize: %w", err)
 	}
 	engine := core.NewEngine()
-	impl, err := engine.Series(bz, maxK)
-	if err != nil {
-		return nil, fmt.Errorf("experiments: fig5 implications: %w", err)
+	var impl, neg []float64
+	tasks := []func() error{
+		func() error {
+			var err error
+			if impl, err = engine.Series(bz, maxK); err != nil {
+				return fmt.Errorf("experiments: fig5 implications: %w", err)
+			}
+			return nil
+		},
+		func() error {
+			var err error
+			if neg, err = core.NegationSeries(bz, maxK); err != nil {
+				return fmt.Errorf("experiments: fig5 negations: %w", err)
+			}
+			return nil
+		},
 	}
-	neg, err := core.NegationSeries(bz, maxK)
-	if err != nil {
-		return nil, fmt.Errorf("experiments: fig5 negations: %w", err)
+	if err := parallel.ForEach(cfg.Workers, len(tasks), func(i int) error { return tasks[i]() }); err != nil {
+		return nil, err
 	}
 	res := &Fig5Result{
 		Buckets:    len(bz.Buckets),

@@ -9,6 +9,7 @@ import (
 	"ckprivacy/internal/core"
 	"ckprivacy/internal/dataset/adult"
 	"ckprivacy/internal/lattice"
+	"ckprivacy/internal/parallel"
 	"ckprivacy/internal/table"
 )
 
@@ -36,6 +37,11 @@ type Fig6Config struct {
 	Ks []int
 	// Negation additionally computes the negated-atom disclosure per node.
 	Negation bool
+	// Workers bounds the goroutines sweeping lattice nodes; values below 1
+	// mean one worker per CPU core. The result is identical at every worker
+	// count — nodes are gathered by lattice position before the final
+	// entropy sort.
+	Workers int
 }
 
 // Fig6Result holds the full sweep over all 72 generalizations of the Adult
@@ -72,10 +78,19 @@ func RunFig6Config(tab *table.Table, cfg Fig6Config) (*Fig6Result, error) {
 	}
 	engine := core.NewEngine()
 	res := &Fig6Result{Ks: append([]int(nil), ks...)}
-	for _, node := range p.Space().All() {
+	// Sweep the 72 generalizations on all workers: every node's bucketize +
+	// max-disclosure chain is independent (the engine's MINIMIZE1 memo and
+	// the problem's bucketization cache are concurrency-safe and shared, so
+	// repeated histograms across nodes are still computed once). Points land
+	// in lattice order before the entropy sort, keeping the result identical
+	// to the serial sweep.
+	nodes := p.Space().All()
+	res.Points = make([]Fig6Point, len(nodes))
+	err = parallel.ForEach(cfg.Workers, len(nodes), func(i int) error {
+		node := nodes[i]
 		bz, err := p.Bucketize(node)
 		if err != nil {
-			return nil, fmt.Errorf("experiments: fig6 at %v: %w", node, err)
+			return fmt.Errorf("experiments: fig6 at %v: %w", node, err)
 		}
 		pt := Fig6Point{
 			Node:       node,
@@ -89,20 +104,24 @@ func RunFig6Config(tab *table.Table, cfg Fig6Config) (*Fig6Result, error) {
 		for _, k := range ks {
 			d, err := engine.MaxDisclosure(bz, k)
 			if err != nil {
-				return nil, fmt.Errorf("experiments: fig6 at %v k=%d: %w", node, k, err)
+				return fmt.Errorf("experiments: fig6 at %v k=%d: %w", node, k, err)
 			}
 			pt.Disclosure[k] = d
 			if cfg.Negation {
 				nd, err := core.NegationMaxDisclosure(bz, k)
 				if err != nil {
-					return nil, fmt.Errorf("experiments: fig6 negation at %v k=%d: %w", node, k, err)
+					return fmt.Errorf("experiments: fig6 negation at %v k=%d: %w", node, k, err)
 				}
 				pt.Negation[k] = nd
 			}
 		}
-		res.Points = append(res.Points, pt)
+		res.Points[i] = pt
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	sort.Slice(res.Points, func(i, j int) bool {
+	sort.SliceStable(res.Points, func(i, j int) bool {
 		return res.Points[i].MinEntropy < res.Points[j].MinEntropy
 	})
 	return res, nil

@@ -200,6 +200,20 @@ func (s Space) All() []Node {
 	return nodes
 }
 
+// Levels groups All() by height: Levels()[h] holds the height-h nodes in
+// lexicographic order, so iterating levels in order and each level in slice
+// order visits nodes exactly as All() does. The level-wise parallel
+// searches evaluate one level concurrently and use the next level boundary
+// as their pruning barrier.
+func (s Space) Levels() [][]Node {
+	levels := make([][]Node, s.MaxHeight()+1)
+	for _, n := range s.All() {
+		h := n.Height()
+		levels[h] = append(levels[h], n)
+	}
+	return levels
+}
+
 // Project restricts a node to the given dimensions (used by Incognito's
 // subset lattices).
 func Project(n Node, dims []int) Node {

@@ -1,0 +1,94 @@
+package parallel
+
+import (
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestWorkersResolution(t *testing.T) {
+	if got := Workers(4); got != 4 {
+		t.Errorf("Workers(4) = %d", got)
+	}
+	if got := Workers(1); got != 1 {
+		t.Errorf("Workers(1) = %d", got)
+	}
+	want := runtime.GOMAXPROCS(0)
+	for _, n := range []int{0, -1, -100} {
+		if got := Workers(n); got != want {
+			t.Errorf("Workers(%d) = %d, want GOMAXPROCS %d", n, got, want)
+		}
+	}
+}
+
+func TestForEachCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 8, 100} {
+		for _, n := range []int{0, 1, 5, 97} {
+			var hits = make([]atomic.Int32, n)
+			err := ForEach(workers, n, func(i int) error {
+				hits[i].Add(1)
+				return nil
+			})
+			if err != nil {
+				t.Fatalf("workers=%d n=%d: %v", workers, n, err)
+			}
+			for i := range hits {
+				if got := hits[i].Load(); got != 1 {
+					t.Fatalf("workers=%d n=%d: index %d hit %d times", workers, n, i, got)
+				}
+			}
+		}
+	}
+}
+
+func TestForEachReportsLowestFailingIndex(t *testing.T) {
+	// Failing set {3, 7, 11}: the reported error must always be index 3's,
+	// regardless of worker count or scheduling.
+	fail := map[int]bool{3: true, 7: true, 11: true}
+	f := func(w uint8) bool {
+		workers := int(w)%8 + 1
+		err := ForEach(workers, 50, func(i int) error {
+			if fail[i] {
+				return fmt.Errorf("boom at %d", i)
+			}
+			return nil
+		})
+		return err != nil && err.Error() == "boom at 3"
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForEachSerialStopsAtFirstError(t *testing.T) {
+	var calls int
+	err := ForEach(1, 10, func(i int) error {
+		calls++
+		if i == 4 {
+			return fmt.Errorf("stop")
+		}
+		return nil
+	})
+	if err == nil || calls != 5 {
+		t.Errorf("calls = %d, err = %v; want 5 calls and an error", calls, err)
+	}
+}
+
+func TestForEachStopsDispatchAfterFailure(t *testing.T) {
+	// After index 0 fails, the pool must not dispatch unboundedly many new
+	// indices. With in-flight work allowed, at most a few extra run; 1e6
+	// would mean no early exit at all.
+	var calls atomic.Int64
+	_ = ForEach(4, 1_000_000, func(i int) error {
+		calls.Add(1)
+		if i == 0 {
+			return fmt.Errorf("fail fast")
+		}
+		return nil
+	})
+	if c := calls.Load(); c > 100_000 {
+		t.Errorf("ran %d items after early failure", c)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"math/rand"
 
 	"ckprivacy/internal/logic"
+	"ckprivacy/internal/parallel"
 )
 
 // Estimate is a Monte-Carlo probability estimate with a confidence radius.
@@ -39,13 +40,19 @@ func (in Instance) EstimateCondProb(target logic.Atom, phi logic.Conjunction, sa
 	if rng == nil {
 		return Estimate{}, fmt.Errorf("worlds: nil random source")
 	}
+	accepted, hits := in.sample(target, phi, samples, rng)
+	return finishEstimate(accepted, hits, samples)
+}
+
+// sample draws `samples` uniform worlds and counts those satisfying phi
+// (accepted) and, among them, the target (hits).
+func (in Instance) sample(target logic.Atom, phi logic.Conjunction, samples int, rng *rand.Rand) (accepted, hits int) {
 	// Pre-build per-bucket value slices to shuffle in place.
 	vals := make([][]string, len(in.Buckets))
 	for i, b := range in.Buckets {
 		vals[i] = append([]string(nil), b.Values...)
 	}
 	w := make(logic.Assignment, len(in.Persons()))
-	accepted, hits := 0, 0
 	for s := 0; s < samples; s++ {
 		for i, b := range in.Buckets {
 			v := vals[i]
@@ -62,6 +69,10 @@ func (in Instance) EstimateCondProb(target logic.Atom, phi logic.Conjunction, sa
 			hits++
 		}
 	}
+	return accepted, hits
+}
+
+func finishEstimate(accepted, hits, samples int) (Estimate, error) {
 	if accepted == 0 {
 		return Estimate{Samples: samples}, fmt.Errorf("worlds: no sampled world satisfied the knowledge (inconsistent or too rare for %d samples)", samples)
 	}
@@ -72,4 +83,43 @@ func (in Instance) EstimateCondProb(target logic.Atom, phi logic.Conjunction, sa
 		Accepted: accepted,
 		Samples:  samples,
 	}, nil
+}
+
+// EstimateCondProbParallel is EstimateCondProb with the sample budget
+// sharded across up to `workers` goroutines (workers <= 0 means one per CPU
+// core). Each shard runs an independent deterministic PRNG stream derived
+// from seed, so the result is reproducible for a fixed (seed, workers) pair
+// — but differs across worker counts, as the streams interleave the sample
+// space differently.
+func (in Instance) EstimateCondProbParallel(target logic.Atom, phi logic.Conjunction, samples, workers int, seed int64) (Estimate, error) {
+	if samples <= 0 {
+		return Estimate{}, fmt.Errorf("worlds: sample budget must be positive, got %d", samples)
+	}
+	workers = parallel.Workers(workers)
+	if workers > samples {
+		workers = samples
+	}
+	type count struct{ accepted, hits int }
+	counts := make([]count, workers)
+	err := parallel.ForEach(workers, workers, func(w int) error {
+		chunk := samples / workers
+		if w < samples%workers {
+			chunk++
+		}
+		// Distinct, well-separated streams per shard: golden-ratio offsets
+		// avoid the correlated low bits of consecutive seeds.
+		rng := rand.New(rand.NewSource(seed + int64(w)*0x4f1bbcdcbfa53e0b))
+		a, h := in.sample(target, phi, chunk, rng)
+		counts[w] = count{accepted: a, hits: h}
+		return nil
+	})
+	if err != nil {
+		return Estimate{}, err
+	}
+	accepted, hits := 0, 0
+	for _, c := range counts {
+		accepted += c.accepted
+		hits += c.hits
+	}
+	return finishEstimate(accepted, hits, samples)
 }
