@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet fmt fmt-check test race bench bench-json
+.PHONY: all build vet fmt fmt-check test race bench bench-json examples serve
 
 all: build vet fmt-check test
 
@@ -27,7 +27,27 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/...
+	$(GO) test -race ./...
+
+## examples builds and smoke-runs every examples/* program (mirrors the CI
+## examples job; sizes scaled down to stay fast).
+examples:
+	$(GO) build ./examples/...
+	@set -eu; for d in examples/*/; do \
+		name="$$(basename "$$d")"; \
+		case "$$name" in \
+			adult)     args="-n 2000" ;; \
+			incognito) args="-n 1000" ;; \
+			*)         args="" ;; \
+		esac; \
+		echo "==> go run ./$$d $$args"; \
+		$(GO) run "./$$d" $$args > /dev/null; \
+	done
+
+## serve runs the resident disclosure-auditing daemon with the hospital
+## example preloaded.
+serve:
+	$(GO) run ./cmd/ckprivacyd -preload hospital
 
 bench:
 	$(GO) test -bench=. -benchmem -run='^$$' ./...

@@ -13,6 +13,7 @@ import (
 	"ckprivacy/internal/lattice"
 	"ckprivacy/internal/logic"
 	"ckprivacy/internal/privacy"
+	"ckprivacy/internal/server"
 	"ckprivacy/internal/table"
 	"ckprivacy/internal/utility"
 	"ckprivacy/internal/worlds"
@@ -320,3 +321,24 @@ type (
 func RunSafetyGrid(t *Table, cfg GridConfig) (*GridResult, error) {
 	return experiments.RunSafetyGrid(t, cfg)
 }
+
+// Serving (the resident ckprivacyd daemon's engine room).
+type (
+	// Server is the long-running HTTP disclosure-auditing service: a
+	// dataset registry, synchronous disclosure/safety endpoints, an
+	// asynchronous anonymization job queue and Prometheus-style metrics,
+	// all sharing one warm engine memo and per-dataset bucketization
+	// caches across requests.
+	Server = server.Server
+	// ServerConfig tunes the service's per-request limits, the global
+	// concurrency gate and the job queue. The zero value uses the
+	// documented defaults.
+	ServerConfig = server.Config
+	// JobState is an asynchronous anonymization job's lifecycle state.
+	JobState = server.JobState
+)
+
+// NewServer builds the serving subsystem and starts its job workers; mount
+// it with Server.Handler and drain it with Server.Shutdown (cmd/ckprivacyd
+// does both behind SIGTERM handling).
+func NewServer(cfg ServerConfig) *Server { return server.New(cfg) }

@@ -38,15 +38,15 @@ func cmdDisclose(args []string) error {
 	var data dataFlags
 	data.register(fs)
 	k := fs.Int("k", 3, "background knowledge bound (basic implications)")
-	levelsStr := fs.String("levels", "Age=3,MaritalStatus=2,Race=1,Sex=1",
-		"generalization levels, Attr=level pairs")
+	levelsStr := fs.String("levels", "",
+		"generalization levels, Attr=level pairs (default: dataset-specific)")
 	witness := fs.Bool("witness", false, "print a worst-case knowledge formula")
 	crossOnly := fs.Bool("cross-bucket", false,
 		"restrict antecedents to other buckets (paper §2.3 variant)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	tab, err := data.load()
+	b, err := data.load()
 	if err != nil {
 		return err
 	}
@@ -54,7 +54,7 @@ func cmdDisclose(args []string) error {
 	if err != nil {
 		return err
 	}
-	bz, err := ckprivacy.Bucketize(tab, ckprivacy.AdultHierarchies(), levels)
+	bz, err := b.Bucketize(levels)
 	if err != nil {
 		return err
 	}
@@ -68,13 +68,13 @@ func cmdDisclose(args []string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("tuples:            %d\n", tab.Len())
+	fmt.Printf("tuples:            %d\n", b.Table.Len())
 	fmt.Printf("buckets:           %d\n", len(bz.Buckets))
 	fmt.Printf("min entropy:       %.4f nats\n", bz.MinEntropy())
 	fmt.Printf("max disclosure:    %.6f  (k=%d basic implications)\n", d, *k)
 	fmt.Printf("negation variant:  %.6f  (k=%d negated atoms)\n", neg, *k)
 	if *witness {
-		w, err := engine.Witness(bz, *k, opt, nil)
+		w, err := engine.Witness(bz, *k, opt, b.Namer())
 		if err != nil {
 			return err
 		}
@@ -99,11 +99,11 @@ func cmdSafe(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	tab, err := data.load()
+	b, err := data.load()
 	if err != nil {
 		return err
 	}
-	p, err := ckprivacy.NewProblem(tab, ckprivacy.AdultHierarchies(), ckprivacy.AdultQI(),
+	p, err := ckprivacy.NewProblem(b.Table, b.Hierarchies, b.QI,
 		ckprivacy.WithWorkers(*workers))
 	if err != nil {
 		return err
@@ -149,7 +149,7 @@ func cmdSafe(args []string) error {
 		fmt.Println("result:      no safe generalization exists (even fully suppressed)")
 		return nil
 	}
-	fmt.Printf("safe nodes:  %d  (levels over %v)\n", len(nodes), ckprivacy.AdultQI())
+	fmt.Printf("safe nodes:  %d  (levels over %v)\n", len(nodes), b.QI)
 	for _, n := range nodes {
 		bz, err := p.Bucketize(n)
 		if err != nil {
@@ -176,7 +176,7 @@ func cmdFig5(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	tab, err := data.load()
+	tab, err := data.loadAdultTable()
 	if err != nil {
 		return err
 	}
@@ -208,7 +208,7 @@ func cmdFig6(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	tab, err := data.load()
+	tab, err := data.loadAdultTable()
 	if err != nil {
 		return err
 	}
@@ -253,7 +253,7 @@ func cmdGrid(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	tab, err := data.load()
+	b, err := data.load()
 	if err != nil {
 		return err
 	}
@@ -265,7 +265,9 @@ func cmdGrid(args []string) error {
 	if err != nil {
 		return err
 	}
-	res, err := ckprivacy.RunSafetyGrid(tab, ckprivacy.GridConfig{Cs: cs, Ks: ks, Workers: *workers})
+	res, err := ckprivacy.RunSafetyGrid(b.Table, ckprivacy.GridConfig{
+		Cs: cs, Ks: ks, Workers: *workers, Hierarchies: b.Hierarchies, QI: b.QI,
+	})
 	if err != nil {
 		return err
 	}

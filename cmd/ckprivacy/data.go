@@ -3,37 +3,59 @@ package main
 import (
 	"flag"
 	"fmt"
-	"os"
 	"strconv"
 	"strings"
 
 	"ckprivacy"
+	"ckprivacy/internal/dataload"
 )
 
-// dataFlags are the input-selection flags shared by several commands: read
-// an Adult-schema CSV, or generate a synthetic table.
+// dataFlags are the input-selection flags shared by several commands: pick
+// a named dataset bundle (internal/dataload) — the Adult table from a CSV
+// or the synthetic generator, or the paper's hospital running example.
 type dataFlags struct {
+	data string
 	csv  string
 	n    int
 	seed int64
 }
 
 func (d *dataFlags) register(fs *flag.FlagSet) {
+	fs.StringVar(&d.data, "data", "adult", "dataset: adult | hospital")
 	fs.StringVar(&d.csv, "csv", "", "Adult-schema CSV file to load (default: generate synthetic data)")
 	fs.IntVar(&d.n, "n", ckprivacy.AdultDefaultN, "synthetic tuple count")
 	fs.Int64Var(&d.seed, "seed", 1, "synthetic generator seed")
 }
 
-func (d *dataFlags) load() (*ckprivacy.Table, error) {
-	if d.csv == "" {
-		return ckprivacy.SyntheticAdult(ckprivacy.AdultConfig{N: d.n, Seed: d.seed})
+// load resolves the flags to a dataset bundle (table + hierarchies + QI +
+// default levels).
+func (d *dataFlags) load() (*dataload.Bundle, error) {
+	switch d.data {
+	case "adult":
+		return dataload.Adult(d.csv, d.n, d.seed)
+	case "hospital":
+		// The hospital example is a fixed ten-patient table; silently
+		// ignoring size/seed/CSV overrides would mislead.
+		if d.csv != "" || d.n != ckprivacy.AdultDefaultN || d.seed != 1 {
+			return nil, fmt.Errorf("-csv, -n and -seed only apply to -data adult")
+		}
+		return dataload.Hospital(), nil
+	default:
+		return nil, fmt.Errorf("unknown dataset %q (want adult or hospital)", d.data)
 	}
-	f, err := os.Open(d.csv)
+}
+
+// loadAdultTable is for the Figure 5/6 commands, which reproduce
+// Adult-specific experiments.
+func (d *dataFlags) loadAdultTable() (*ckprivacy.Table, error) {
+	if d.data != "adult" {
+		return nil, fmt.Errorf("this command reproduces an Adult experiment; -data %s is not supported", d.data)
+	}
+	b, err := d.load()
 	if err != nil {
 		return nil, err
 	}
-	defer f.Close()
-	return ckprivacy.ReadCSV(f, ckprivacy.AdultSchema())
+	return b.Table, nil
 }
 
 // workersFlag registers the shared -workers flag: 1 (the default) is fully

@@ -14,9 +14,9 @@ func cmdEstimate(args []string) error {
 	fs := flag.NewFlagSet("estimate", flag.ContinueOnError)
 	var data dataFlags
 	data.register(fs)
-	levelsStr := fs.String("levels", "Age=3,MaritalStatus=2,Race=1,Sex=1",
-		"generalization levels, Attr=level pairs")
-	targetStr := fs.String("target", "", "target atom, e.g. 't[17]=Sales' (row index as person)")
+	levelsStr := fs.String("levels", "",
+		"generalization levels, Attr=level pairs (default: dataset-specific)")
+	targetStr := fs.String("target", "", "target atom, e.g. 't[17]=Sales' (row index as person; -data hospital uses the paper's names)")
 	phiStr := fs.String("phi", "", "knowledge: ';'-separated implications, e.g. 't[3]=Sales -> t[17]=Sales'")
 	samples := fs.Int("samples", 200000, "Monte-Carlo sample budget")
 	seed := fs.Int64("sample-seed", 1, "sampler seed")
@@ -35,7 +35,7 @@ func cmdEstimate(args []string) error {
 	if err != nil {
 		return err
 	}
-	tab, err := data.load()
+	b, err := data.load()
 	if err != nil {
 		return err
 	}
@@ -43,11 +43,11 @@ func cmdEstimate(args []string) error {
 	if err != nil {
 		return err
 	}
-	bz, err := ckprivacy.Bucketize(tab, ckprivacy.AdultHierarchies(), levels)
+	bz, err := b.Bucketize(levels)
 	if err != nil {
 		return err
 	}
-	in, err := ckprivacy.WorldsFromBucketization(bz, nil)
+	in, err := ckprivacy.WorldsFromBucketization(bz, b.Namer())
 	if err != nil {
 		return err
 	}

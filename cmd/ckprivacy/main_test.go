@@ -78,6 +78,9 @@ func TestCommandsSmoke(t *testing.T) {
 		{"fig6", "-n", "400", "-ks", "1,3", "-workers", "0", "-as-csv"},
 		{"grid", "-n", "400", "-cs", "0.7,0.9", "-ks", "1,3", "-workers", "0"},
 		{"grid", "-n", "400", "-cs", "0.9", "-ks", "1", "-as-csv"},
+		{"disclose", "-data", "hospital", "-k", "1", "-witness"},
+		{"estimate", "-data", "hospital", "-samples", "2000",
+			"-target", "t[Ed]=lung-cancer", "-phi", "t[Ed]=mumps -> t[Ed]=flu"},
 	}
 	for _, args := range cases {
 		if err := run(args); err != nil {
@@ -90,6 +93,12 @@ func TestCommandsErrors(t *testing.T) {
 	cases := [][]string{
 		{"disclose", "-levels", "bogus"},
 		{"disclose", "-csv", "/nonexistent/file.csv"},
+		{"disclose", "-data", "bogus"},
+		{"disclose", "-data", "hospital", "-csv", "x.csv"},
+		{"disclose", "-data", "hospital", "-n", "100"},
+		{"disclose", "-data", "hospital", "-seed", "7"},
+		{"fig5", "-data", "hospital"},
+		{"fig6", "-data", "hospital"},
 		{"safe", "-n", "200", "-method", "bogus"},
 		{"safe", "-n", "200", "-utility", "bogus"},
 		{"fig6", "-n", "200", "-ks", "1,x"},

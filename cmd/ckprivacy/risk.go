@@ -15,8 +15,8 @@ func cmdRisk(args []string) error {
 	var data dataFlags
 	data.register(fs)
 	k := fs.Int("k", 3, "background knowledge bound (basic implications)")
-	levelsStr := fs.String("levels", "Age=3,MaritalStatus=2,Race=1,Sex=1",
-		"generalization levels, Attr=level pairs")
+	levelsStr := fs.String("levels", "",
+		"generalization levels, Attr=level pairs (default: dataset-specific)")
 	top := fs.Int("top", 20, "show only the N riskiest (bucket, value) pairs")
 	weightsStr := fs.String("weights", "",
 		"optional value sensitivity weights, e.g. 'Priv-house-serv=1,Sales=0.2' (others default to 1)")
@@ -24,7 +24,7 @@ func cmdRisk(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	tab, err := data.load()
+	b, err := data.load()
 	if err != nil {
 		return err
 	}
@@ -32,7 +32,7 @@ func cmdRisk(args []string) error {
 	if err != nil {
 		return err
 	}
-	bz, err := ckprivacy.Bucketize(tab, ckprivacy.AdultHierarchies(), levels)
+	bz, err := b.Bucketize(levels)
 	if err != nil {
 		return err
 	}
@@ -52,8 +52,8 @@ func cmdRisk(args []string) error {
 		if shown >= *top {
 			break
 		}
-		b := bz.Buckets[r.BucketIdx]
-		fmt.Printf("%-30s %-18s %10d %8.4f\n", b.Key, r.Value, b.Count(r.Value), r.Disclosure)
+		bkt := bz.Buckets[r.BucketIdx]
+		fmt.Printf("%-30s %-18s %10d %8.4f\n", bkt.Key, r.Value, bkt.Count(r.Value), r.Disclosure)
 		shown++
 	}
 

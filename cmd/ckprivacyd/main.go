@@ -1,0 +1,143 @@
+// Command ckprivacyd is the resident disclosure-auditing service: the
+// library's O(|B|·k³) MaxDisclosure check, (c,k)-safety verdicts and
+// lattice-search anonymization behind a JSON/HTTP API, with a dataset
+// registry and process-wide warm caches so repeated checks on hot datasets
+// skip cold-start entirely.
+//
+// Endpoints:
+//
+//	POST   /v1/datasets       register a table + hierarchies under a name
+//	GET    /v1/datasets       list registered datasets
+//	GET    /v1/datasets/{x}   describe one dataset
+//	POST   /v1/disclosure     synchronous MaxDisclosure (optional witness)
+//	POST   /v1/check          synchronous privacy-criterion verdict
+//	POST   /v1/estimate       Monte-Carlo posterior for a specific formula
+//	POST   /v1/anonymize      submit an async lattice-search job (202)
+//	GET    /v1/jobs/{id}      poll job status/result
+//	DELETE /v1/jobs/{id}      cancel a queued or running job
+//	GET    /healthz           liveness
+//	GET    /metrics           Prometheus text format
+//
+// The daemon shuts down gracefully on SIGINT/SIGTERM: the listener stops
+// accepting, in-flight requests finish, and queued anonymization jobs are
+// drained (bounded by -drain-timeout, after which running jobs are
+// cancelled cooperatively).
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"ckprivacy/internal/dataload"
+	"ckprivacy/internal/server"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "ckprivacyd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("ckprivacyd", flag.ContinueOnError)
+	var (
+		addr          = fs.String("addr", ":8344", "listen address")
+		maxK          = fs.Int("max-k", 16, "largest background-knowledge bound k accepted per request")
+		maxRows       = fs.Int("max-rows", 200000, "largest registered dataset in rows")
+		maxDatasets   = fs.Int("max-datasets", 64, "registry capacity")
+		maxConcurrent = fs.Int("max-concurrent", 0, "global concurrency gate; 0 means one per CPU core")
+		gateWait      = fs.Duration("gate-wait", 2*time.Second, "max wait on the gate before shedding with 503")
+		jobWorkers    = fs.Int("job-workers", 2, "concurrent background anonymization jobs")
+		jobQueue      = fs.Int("job-queue", 16, "bounded pending-job queue size")
+		searchWorkers = fs.Int("search-workers", 1, "lattice worker budget per search (<= 0 means one per CPU core)")
+		preload       = fs.String("preload", "", "comma-separated built-in datasets to register at boot (adult, hospital)")
+		preloadN      = fs.Int("preload-n", 0, "synthetic row count for a preloaded adult dataset (0 means the paper's 45222)")
+		drainTimeout  = fs.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight jobs")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	srv := server.New(server.Config{
+		MaxK:          *maxK,
+		MaxRows:       *maxRows,
+		MaxDatasets:   *maxDatasets,
+		MaxConcurrent: *maxConcurrent,
+		GateWait:      *gateWait,
+		JobWorkers:    *jobWorkers,
+		JobQueueSize:  *jobQueue,
+		SearchWorkers: *searchWorkers,
+	})
+	for _, name := range strings.Split(*preload, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		b, err := dataload.Builtin(name, *preloadN, 1)
+		if err != nil {
+			return fmt.Errorf("preload: %w", err)
+		}
+		if err := srv.Register(name, b); err != nil {
+			return fmt.Errorf("preload %q: %w", name, err)
+		}
+		log.Printf("preloaded dataset %q (%d rows)", name, b.Table.Len())
+	}
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+		// Bound body reads so slow-loris clients cannot hold connections
+		// (or, worse, compute-gate slots) open indefinitely. No
+		// WriteTimeout: synchronous disclosure on a large dataset may
+		// legitimately compute for longer than any fixed bound.
+		ReadTimeout: 30 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("ckprivacyd listening on %s", *addr)
+		errc <- httpSrv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		// The listener died before any signal (e.g. a bad address); the
+		// job workers still need stopping.
+		stopCtx, cancel := context.WithTimeout(context.Background(), time.Second)
+		defer cancel()
+		_ = srv.Shutdown(stopCtx)
+		return err
+	case <-ctx.Done():
+	}
+
+	// Graceful drain: stop accepting, finish in-flight requests, then let
+	// queued/running jobs complete (cancelled cooperatively past the
+	// deadline).
+	log.Printf("shutting down: draining requests and jobs (timeout %s)", *drainTimeout)
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	httpErr := httpSrv.Shutdown(drainCtx)
+	jobErr := srv.Shutdown(drainCtx)
+	if httpErr != nil && !errors.Is(httpErr, http.ErrServerClosed) {
+		return httpErr
+	}
+	if jobErr != nil {
+		return fmt.Errorf("job drain: %w", jobErr)
+	}
+	log.Printf("ckprivacyd stopped cleanly")
+	return nil
+}

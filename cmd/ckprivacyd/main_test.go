@@ -1,0 +1,22 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunFlagAndPreloadErrors(t *testing.T) {
+	if err := run([]string{"-bogus-flag"}); err == nil {
+		t.Error("unknown flag accepted")
+	}
+	err := run([]string{"-preload", "nope"})
+	if err == nil || !strings.Contains(err.Error(), "unknown built-in") {
+		t.Errorf("bad preload: %v", err)
+	}
+	// A hopeless listen address makes run return promptly after a
+	// successful preload, covering the boot path end to end.
+	err = run([]string{"-preload", "hospital", "-addr", "256.256.256.256:1"})
+	if err == nil {
+		t.Error("unlistenable address accepted")
+	}
+}

@@ -35,13 +35,23 @@
 //	)
 //	d, _ := ckprivacy.MaxDisclosure(bz, 1) // 2/3
 //
+// The library also serves: NewServer builds the resident HTTP
+// disclosure-auditing service behind the cmd/ckprivacyd daemon — a dataset
+// registry (register a table + hierarchies once, reference by name),
+// synchronous disclosure and safety-verdict endpoints, asynchronous
+// lattice-search jobs on a bounded queue, and Prometheus-format metrics,
+// all sharing one warm engine memo and per-dataset bucketization caches
+// across requests.
+//
 // The packages under internal/ hold the implementation: internal/core (the
 // disclosure DP), internal/bucket, internal/hierarchy, internal/lattice,
 // internal/parallel (the bounded worker pool behind the level-wise
 // searches), internal/logic and internal/worlds (an exact,
 // exponential-time random-worlds oracle used to validate the DP),
 // internal/privacy, internal/anonymize, internal/dataset/adult (a
-// synthetic stand-in for the UCI Adult dataset) and internal/experiments
+// synthetic stand-in for the UCI Adult dataset), internal/dataload (named
+// dataset bundles shared by the CLI, the daemon and the registry),
+// internal/server (the serving subsystem) and internal/experiments
 // (regenerates the paper's figures and sweeps (c,k) policy grids). This
 // package re-exports the supported API surface.
 package ckprivacy

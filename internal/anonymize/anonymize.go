@@ -87,6 +87,34 @@ func NewProblem(t *table.Table, hs hierarchy.Set, qi []string, opts ...Option) (
 // Space returns the full-domain generalization lattice.
 func (p *Problem) Space() lattice.Space { return p.space }
 
+// CacheStats snapshots the problem's bucketization-cache counters; a
+// long-lived Problem shared across requests reports its warm-state
+// effectiveness through this.
+func (p *Problem) CacheStats() CacheStats { return p.cache.stats() }
+
+// NodeForLevels converts a per-attribute level assignment into a lattice
+// node in the problem's QI order. Attributes absent from levels stay at
+// level 0; attributes outside the QI list, or levels outside the
+// hierarchy's range, are errors.
+func (p *Problem) NodeForLevels(levels bucket.Levels) (lattice.Node, error) {
+	idx := make(map[string]int, len(p.QI))
+	for i, name := range p.QI {
+		idx[name] = i
+	}
+	node := make(lattice.Node, len(p.QI))
+	for name, lvl := range levels {
+		i, ok := idx[name]
+		if !ok {
+			return nil, fmt.Errorf("anonymize: attribute %q is not a quasi-identifier (have %v)", name, p.QI)
+		}
+		node[i] = lvl
+	}
+	if !p.space.Contains(node) {
+		return nil, fmt.Errorf("anonymize: levels %v outside lattice %v over %v", levels, p.space.Dims(), p.QI)
+	}
+	return node, nil
+}
+
 // Workers returns the resolved worker budget (at least 1).
 func (p *Problem) Workers() int { return p.workers }
 

@@ -3,6 +3,7 @@ package anonymize
 import (
 	"hash/fnv"
 	"sync"
+	"sync/atomic"
 
 	"ckprivacy/internal/bucket"
 )
@@ -25,6 +26,9 @@ type bucketizeCache struct {
 		mu sync.RWMutex
 		m  map[string]*bucket.Bucketization
 	}
+
+	hits   atomic.Uint64
+	misses atomic.Uint64
 }
 
 func newBucketizeCache() *bucketizeCache {
@@ -49,6 +53,11 @@ func (c *bucketizeCache) get(key string) (*bucket.Bucketization, bool) {
 	s.mu.RLock()
 	bz, ok := s.m[key]
 	s.mu.RUnlock()
+	if ok {
+		c.hits.Add(1)
+	} else {
+		c.misses.Add(1)
+	}
 	return bz, ok
 }
 
@@ -57,6 +66,22 @@ func (c *bucketizeCache) put(key string, bz *bucket.Bucketization) {
 	s.mu.Lock()
 	s.m[key] = bz
 	s.mu.Unlock()
+}
+
+// CacheStats is a snapshot of a Problem's bucketization-cache
+// effectiveness; the serving layer exports it on /metrics.
+type CacheStats struct {
+	// Hits counts Bucketize calls answered from the cache.
+	Hits uint64
+	// Misses counts calls that had to materialize the bucketization.
+	Misses uint64
+	// Entries is the number of cached bucketizations.
+	Entries int
+}
+
+// stats snapshots the cache counters and entry count.
+func (c *bucketizeCache) stats() CacheStats {
+	return CacheStats{Hits: c.hits.Load(), Misses: c.misses.Load(), Entries: c.size()}
 }
 
 // size reports the number of cached bucketizations (for tests).

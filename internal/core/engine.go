@@ -2,6 +2,7 @@ package core
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"ckprivacy/internal/bucket"
 )
@@ -21,6 +22,27 @@ import (
 type Engine struct {
 	mu   sync.RWMutex
 	memo map[string]map[int]m1Entry
+
+	hits   atomic.Uint64
+	misses atomic.Uint64
+}
+
+// CacheStats is a point-in-time snapshot of memo effectiveness; the serving
+// layer exports it on /metrics.
+type CacheStats struct {
+	// Hits counts MINIMIZE1 lookups answered from the memo.
+	Hits uint64
+	// Misses counts lookups that had to run the DP.
+	Misses uint64
+}
+
+// HitRate returns Hits/(Hits+Misses), or 0 before any lookup.
+func (s CacheStats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
 }
 
 // NewEngine returns an empty engine.
@@ -34,8 +56,10 @@ func (e *Engine) m1(sig string, hist []int, j int) m1Entry {
 	entry, ok := e.memo[sig][j]
 	e.mu.RUnlock()
 	if ok {
+		e.hits.Add(1)
 		return entry
 	}
+	e.misses.Add(1)
 	entry = m1Compute(hist, j)
 	e.mu.Lock()
 	byJ, ok := e.memo[sig]
@@ -64,11 +88,20 @@ func (e *Engine) CacheSize() int {
 	return n
 }
 
-// Reset drops all memoized state.
+// Stats snapshots the memo's hit/miss counters. Two workers racing on the
+// same missing entry both count as misses, so Misses may slightly exceed
+// the number of distinct entries ever computed.
+func (e *Engine) Stats() CacheStats {
+	return CacheStats{Hits: e.hits.Load(), Misses: e.misses.Load()}
+}
+
+// Reset drops all memoized state and zeroes the hit/miss counters.
 func (e *Engine) Reset() {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	e.memo = make(map[string]map[int]m1Entry)
+	e.hits.Store(0)
+	e.misses.Store(0)
 }
 
 // bucketView caches per-run bucket state (signature, histogram) so the DP

@@ -7,6 +7,7 @@ import (
 	"ckprivacy/internal/anonymize"
 	"ckprivacy/internal/core"
 	"ckprivacy/internal/dataset/adult"
+	"ckprivacy/internal/hierarchy"
 	"ckprivacy/internal/lattice"
 	"ckprivacy/internal/parallel"
 	"ckprivacy/internal/privacy"
@@ -31,6 +32,10 @@ type GridConfig struct {
 	// sharing one disclosure engine and bucketization cache, so the result
 	// is identical at every worker count.
 	Workers int
+	// Hierarchies and QI override the lattice the sweep runs on; nil
+	// means the Adult hierarchies over the Adult quasi-identifiers.
+	Hierarchies hierarchy.Set
+	QI          []string
 }
 
 // GridCell is the outcome of one (c,k) policy: the lowest safe node on the
@@ -85,7 +90,15 @@ func RunSafetyGrid(tab *table.Table, cfg GridConfig) (*GridResult, error) {
 			return nil, fmt.Errorf("experiments: negative k %d", k)
 		}
 	}
-	p, err := anonymize.NewProblem(tab, adult.Hierarchies(), adult.QuasiIdentifiers())
+	hs := cfg.Hierarchies
+	if hs == nil {
+		hs = adult.Hierarchies()
+	}
+	qi := cfg.QI
+	if len(qi) == 0 {
+		qi = adult.QuasiIdentifiers()
+	}
+	p, err := anonymize.NewProblem(tab, hs, qi)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: grid: %w", err)
 	}

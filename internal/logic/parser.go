@@ -3,6 +3,8 @@ package logic
 import (
 	"fmt"
 	"strings"
+	"unicode"
+	"unicode/utf8"
 )
 
 // The concrete syntax, mirroring the paper's notation:
@@ -14,71 +16,131 @@ import (
 // Whitespace around tokens is ignored. Person and value strings may contain
 // anything except the delimiter characters '[', ']', '&', '|', ';' and "->".
 
+// SyntaxError is a parse error carrying the byte offset (into the original
+// input string) at which the problem was detected, so callers — the HTTP
+// API in particular — can point clients at the offending token.
+type SyntaxError struct {
+	// Offset is the 0-based byte offset into the parsed string.
+	Offset int
+	// Msg describes what went wrong at Offset.
+	Msg string
+}
+
+// Error implements error.
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("logic: syntax error at byte %d: %s", e.Offset, e.Msg)
+}
+
+func syntaxErr(offset int, format string, args ...any) error {
+	return &SyntaxError{Offset: offset, Msg: fmt.Sprintf(format, args...)}
+}
+
+// skipSpace returns the offset of the first non-space byte of s at or after
+// i (len(s) if none).
+func skipSpace(s string, i int) int {
+	for i < len(s) {
+		r, size := utf8.DecodeRuneInString(s[i:])
+		if !unicode.IsSpace(r) {
+			break
+		}
+		i += size
+	}
+	return i
+}
+
 // ParseAtom parses "t[p]=v".
 func ParseAtom(s string) (Atom, error) {
-	s = strings.TrimSpace(s)
-	if !strings.HasPrefix(s, "t[") {
-		return Atom{}, fmt.Errorf("logic: atom %q must start with \"t[\"", s)
+	return parseAtomAt(s, 0)
+}
+
+// parseAtomAt parses an atom from the segment s whose first byte sits at
+// byte offset base of the original input; error offsets are reported
+// relative to that original input.
+func parseAtomAt(s string, base int) (Atom, error) {
+	start := skipSpace(s, 0)
+	rest := strings.TrimSpace(s)
+	if !strings.HasPrefix(rest, "t[") {
+		return Atom{}, syntaxErr(base+start, "atom %q must start with %q", rest, "t[")
 	}
-	rest := s[len("t["):]
-	close := strings.Index(rest, "]")
+	body := rest[len("t["):]
+	close := strings.Index(body, "]")
 	if close < 0 {
-		return Atom{}, fmt.Errorf("logic: atom %q missing \"]\"", s)
+		return Atom{}, syntaxErr(base+start+len(rest), "atom %q missing %q", rest, "]")
 	}
-	person := rest[:close]
+	person := body[:close]
 	if person == "" {
-		return Atom{}, fmt.Errorf("logic: atom %q has empty person", s)
+		return Atom{}, syntaxErr(base+start+len("t["), "atom %q has empty person", rest)
 	}
-	rest = rest[close+1:]
-	if !strings.HasPrefix(rest, "=") {
-		return Atom{}, fmt.Errorf("logic: atom %q missing \"=\"", s)
+	body = body[close+1:]
+	if !strings.HasPrefix(body, "=") {
+		return Atom{}, syntaxErr(base+start+len("t[")+close+1, "atom %q missing %q", rest, "=")
 	}
-	value := strings.TrimSpace(rest[1:])
+	value := strings.TrimSpace(body[1:])
 	if value == "" {
-		return Atom{}, fmt.Errorf("logic: atom %q has empty value", s)
+		return Atom{}, syntaxErr(base+start+len(rest), "atom %q has empty value", rest)
 	}
 	return Atom{Person: person, Value: value}, nil
 }
 
 // ParseImplication parses one basic implication.
 func ParseImplication(s string) (BasicImplication, error) {
-	parts := strings.SplitN(s, "->", 2)
-	if len(parts) != 2 {
-		return BasicImplication{}, fmt.Errorf("logic: implication %q missing \"->\"", s)
+	return parseImplicationAt(s, 0)
+}
+
+// parseImplicationAt parses a basic implication from the segment s starting
+// at byte offset base of the original input.
+func parseImplicationAt(s string, base int) (BasicImplication, error) {
+	arrow := strings.Index(s, "->")
+	if arrow < 0 {
+		return BasicImplication{}, syntaxErr(base+skipSpace(s, 0), "implication %q missing %q", strings.TrimSpace(s), "->")
 	}
 	var b BasicImplication
-	for _, as := range strings.Split(parts[0], "&") {
-		a, err := ParseAtom(as)
+	off := 0
+	for _, as := range strings.Split(s[:arrow], "&") {
+		a, err := parseAtomAt(as, base+off)
 		if err != nil {
 			return BasicImplication{}, err
 		}
 		b.Ante = append(b.Ante, a)
+		off += len(as) + len("&")
 	}
-	for _, cs := range strings.Split(parts[1], "|") {
-		c, err := ParseAtom(cs)
+	off = arrow + len("->")
+	for _, cs := range strings.Split(s[arrow+len("->"):], "|") {
+		c, err := parseAtomAt(cs, base+off)
 		if err != nil {
 			return BasicImplication{}, err
 		}
 		b.Cons = append(b.Cons, c)
+		off += len(cs) + len("|")
 	}
-	return b, b.Validate()
+	if err := b.Validate(); err != nil {
+		return BasicImplication{}, syntaxErr(base+skipSpace(s, 0), "%v", err)
+	}
+	return b, nil
 }
 
 // ParseConjunction parses a ";"- or newline-separated conjunction of basic
 // implications. Empty segments are skipped, so trailing separators are
-// harmless.
+// harmless. Errors carry the byte offset into s of the offending token.
 func ParseConjunction(s string) (Conjunction, error) {
 	var out Conjunction
-	seps := func(r rune) bool { return r == ';' || r == '\n' }
-	for _, seg := range strings.FieldsFunc(s, seps) {
-		if strings.TrimSpace(seg) == "" {
-			continue
+	start := 0
+	for {
+		end := len(s)
+		if rel := strings.IndexAny(s[start:], ";\n"); rel >= 0 {
+			end = start + rel
 		}
-		b, err := ParseImplication(seg)
-		if err != nil {
-			return nil, err
+		if seg := s[start:end]; strings.TrimSpace(seg) != "" {
+			b, err := parseImplicationAt(seg, start)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, b)
 		}
-		out = append(out, b)
+		if end == len(s) {
+			break
+		}
+		start = end + 1
 	}
 	return out, nil
 }

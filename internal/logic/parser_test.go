@@ -1,0 +1,106 @@
+package logic
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// offsetOf asserts err is a *SyntaxError and returns its offset.
+func offsetOf(t *testing.T, err error) int {
+	t.Helper()
+	if err == nil {
+		t.Fatal("expected a parse error")
+	}
+	var se *SyntaxError
+	if !errors.As(err, &se) {
+		t.Fatalf("error %v (%T) is not a *SyntaxError", err, err)
+	}
+	return se.Offset
+}
+
+func TestParseAtomOffsets(t *testing.T) {
+	cases := []struct {
+		in     string
+		offset int
+	}{
+		{"x[Ed]=flu", 0},   // not an atom at all
+		{"  x[Ed]=flu", 2}, // leading space skipped
+		{"t[Ed=flu", 8},    // "]" never closes: end of token
+		{"t[]=flu", 2},     // empty person: just after "t["
+		{"t[Ed]flu", 5},    // missing "=": just after "]"
+		{"t[Ed]=", 6},      // empty value: end of token
+		{"t[Ed]=   ", 6},   // ditto with trailing space trimmed
+		{strings.Repeat(" ", 5) + "junk", 5},
+	}
+	for _, c := range cases {
+		_, err := ParseAtom(c.in)
+		if got := offsetOf(t, err); got != c.offset {
+			t.Errorf("ParseAtom(%q) offset = %d, want %d (err: %v)", c.in, got, c.offset, err)
+		}
+	}
+}
+
+func TestParseImplicationOffsets(t *testing.T) {
+	cases := []struct {
+		in     string
+		offset int
+	}{
+		{"t[A]=x  t[B]=y", 0},                 // missing "->": start of implication
+		{"  no arrow here", 2},                // ditto, leading space skipped
+		{"t[A]=x -> junk", 10},                // bad consequent atom
+		{"t[A]=x -> t[B]=y | zz", 19},         // bad second consequent
+		{"t[A]=x & t[=y -> t[B]=y", 13},       // unclosed second antecedent: end of its token
+		{"t[A]=x -> t[B]=y | t[C]", 23},       // missing "=" at end
+		{"junk -> t[B]=y", 0},                 // bad first antecedent
+		{"t[A]=x -> t[B]=y|t[C]=z| x[D]", 25}, // offset past unpadded atoms
+	}
+	for _, c := range cases {
+		_, err := ParseImplication(c.in)
+		if got := offsetOf(t, err); got != c.offset {
+			t.Errorf("ParseImplication(%q) offset = %d, want %d (err: %v)", c.in, got, c.offset, err)
+		}
+	}
+}
+
+func TestParseConjunctionOffsets(t *testing.T) {
+	cases := []struct {
+		in     string
+		offset int
+	}{
+		{"t[A]=x -> t[B]=y; junk", 18},              // error in second segment
+		{"t[A]=x -> t[B]=y\nt[C]=z -> bogus", 27},   // newline separator
+		{"bad; t[A]=x -> t[B]=y", 0},                // error in first segment
+		{"t[A]=x -> t[B]=y; ; t[C]=z -> t[]=w", 32}, // empty segment skipped, offset global
+	}
+	for _, c := range cases {
+		_, err := ParseConjunction(c.in)
+		if got := offsetOf(t, err); got != c.offset {
+			t.Errorf("ParseConjunction(%q) offset = %d, want %d (err: %v)", c.in, got, c.offset, err)
+		}
+	}
+}
+
+// TestParseOffsetWithinBounds property-checks that every reported offset
+// stays inside (or exactly at the end of) the input.
+func TestParseOffsetWithinBounds(t *testing.T) {
+	bad := []string{
+		"", ";", "a;b;c", "t[", "->", "t[A]=x ->", "-> t[B]=y",
+		"t[A]=x -> t[B]=y;;;zz", "  \n ; x",
+	}
+	for _, in := range bad {
+		if _, err := ParseConjunction(in); err != nil {
+			var se *SyntaxError
+			if !errors.As(err, &se) {
+				t.Errorf("ParseConjunction(%q): %T is not a SyntaxError", in, err)
+				continue
+			}
+			if se.Offset < 0 || se.Offset > len(in) {
+				t.Errorf("ParseConjunction(%q) offset %d outside [0, %d]", in, se.Offset, len(in))
+			}
+			if !strings.Contains(se.Error(), "at byte") {
+				t.Errorf("error %q does not mention the byte offset", se.Error())
+			}
+		}
+	}
+}

@@ -1,0 +1,758 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"ckprivacy/internal/bucket"
+	"ckprivacy/internal/core"
+	"ckprivacy/internal/dataload"
+	"ckprivacy/internal/logic"
+	"ckprivacy/internal/privacy"
+	"ckprivacy/internal/utility"
+	"ckprivacy/internal/worlds"
+)
+
+// ---- JSON plumbing ----
+
+// writeJSON serializes v with the given status code.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v) // the status line is already out; nothing to salvage
+}
+
+// errorBody is the uniform error shape. Offset is present when the error
+// is a logic.SyntaxError, pointing clients at the offending byte of their
+// formula string.
+type errorBody struct {
+	Error  string `json:"error"`
+	Offset *int   `json:"offset,omitempty"`
+}
+
+// writeError renders err with the given status code.
+func writeError(w http.ResponseWriter, code int, err error) {
+	body := errorBody{Error: err.Error()}
+	var se *logic.SyntaxError
+	if errors.As(err, &se) {
+		off := se.Offset
+		body.Offset = &off
+	}
+	writeJSON(w, code, body)
+}
+
+// readJSON strictly decodes the request body into v: unknown fields and
+// trailing garbage are 400s; a body over MaxBodyBytes is a 413 that names
+// the limit.
+func (s *Server) readJSON(w http.ResponseWriter, r *http.Request, v any) error {
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			return &httpError{http.StatusRequestEntityTooLarge,
+				fmt.Errorf("request body exceeds the %d-byte limit", s.cfg.MaxBodyBytes)}
+		}
+		return fmt.Errorf("decoding request body: %w", err)
+	}
+	if err := dec.Decode(&struct{}{}); err != io.EOF {
+		return fmt.Errorf("request body has trailing data")
+	}
+	return nil
+}
+
+// ---- dataset registration ----
+
+// syntheticSpec selects the deterministic synthetic Adult table.
+type syntheticSpec struct {
+	N    int   `json:"n"`
+	Seed int64 `json:"seed"`
+}
+
+// registerDatasetRequest registers a table + hierarchies under a name.
+// Exactly one source must be set.
+type registerDatasetRequest struct {
+	Name string `json:"name"`
+	// Builtin loads a built-in bundle: "hospital" or "adult".
+	Builtin string `json:"builtin,omitempty"`
+	// AdultCSV is an Adult-schema CSV (with header) as text.
+	AdultCSV string `json:"adult_csv,omitempty"`
+	// Synthetic generates the synthetic Adult table.
+	Synthetic *syntheticSpec `json:"synthetic,omitempty"`
+	// Spec declares a custom schema, hierarchies and CSV rows.
+	Spec *dataload.Spec `json:"spec,omitempty"`
+}
+
+// datasetInfo describes a registered dataset.
+type datasetInfo struct {
+	Name            string         `json:"name"`
+	Rows            int            `json:"rows"`
+	Sensitive       string         `json:"sensitive"`
+	QI              []string       `json:"quasi_identifiers"`
+	HierarchyLevels map[string]int `json:"hierarchy_levels"`
+	DefaultLevels   bucket.Levels  `json:"default_levels"`
+	LatticeSize     int            `json:"lattice_size"`
+	CacheEntries    int            `json:"cache_entries"`
+}
+
+func describe(name string, ds *dataset) datasetInfo {
+	b := ds.bundle
+	levels := make(map[string]int, len(b.QI))
+	for _, qi := range b.QI {
+		levels[qi] = b.Hierarchies[qi].Levels()
+	}
+	return datasetInfo{
+		Name:            name,
+		Rows:            b.Table.Len(),
+		Sensitive:       b.Table.Schema.Sensitive().Name,
+		QI:              b.QI,
+		HierarchyLevels: levels,
+		DefaultLevels:   b.DefaultLevels,
+		LatticeSize:     ds.problem.Space().Size(),
+		CacheEntries:    ds.problem.CacheStats().Entries,
+	}
+}
+
+func (s *Server) handleRegisterDataset(w http.ResponseWriter, r *http.Request) {
+	var req registerDatasetRequest
+	if err := s.readJSON(w, r, &req); err != nil {
+		writeHTTPError(w, err)
+		return
+	}
+	sources := 0
+	for _, set := range []bool{req.Builtin != "", req.AdultCSV != "", req.Synthetic != nil, req.Spec != nil} {
+		if set {
+			sources++
+		}
+	}
+	if sources != 1 {
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("exactly one of builtin, adult_csv, synthetic or spec must be set (got %d)", sources))
+		return
+	}
+	var (
+		b   *dataload.Bundle
+		err error
+	)
+	switch {
+	case req.Builtin != "":
+		b, err = dataload.Builtin(req.Builtin, 0, 1)
+	case req.AdultCSV != "":
+		b, err = dataload.AdultFromReader(strings.NewReader(req.AdultCSV))
+	case req.Synthetic != nil:
+		if req.Synthetic.N > s.cfg.MaxRows {
+			writeError(w, http.StatusBadRequest,
+				fmt.Errorf("synthetic n %d above the %d-row limit", req.Synthetic.N, s.cfg.MaxRows))
+			return
+		}
+		n := req.Synthetic.N
+		if n <= 0 {
+			n = 1000
+		}
+		b, err = dataload.Adult("", n, req.Synthetic.Seed)
+	case req.Spec != nil:
+		b, err = dataload.FromSpec(req.Name, *req.Spec)
+	}
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if b.Table.Len() > s.cfg.MaxRows {
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("dataset has %d rows, above the %d-row limit", b.Table.Len(), s.cfg.MaxRows))
+		return
+	}
+	ds, err := s.registry.add(req.Name, b, s.cfg.SearchWorkers)
+	if err != nil {
+		code := http.StatusBadRequest
+		if errors.Is(err, errAlreadyRegistered) {
+			code = http.StatusConflict
+		}
+		writeError(w, code, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, describe(req.Name, ds))
+}
+
+func (s *Server) handleListDatasets(w http.ResponseWriter, r *http.Request) {
+	infos := s.registry.list()
+	out := make([]datasetInfo, len(infos))
+	for i, info := range infos {
+		out[i] = describe(info.name, info.ds)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"datasets": out})
+}
+
+func (s *Server) handleGetDataset(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	ds, ok := s.registry.get(name)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("dataset %q not registered", name))
+		return
+	}
+	writeJSON(w, http.StatusOK, describe(name, ds))
+}
+
+// ---- bucketization resolution shared by disclosure/check/estimate ----
+
+// bucketizationSource selects what to analyze: a registered dataset at
+// some generalization levels, or an inline list of per-bucket sensitive
+// value groups.
+type bucketizationSource struct {
+	// Dataset names a registered dataset.
+	Dataset string `json:"dataset,omitempty"`
+	// Levels generalizes the dataset's quasi-identifiers; empty means the
+	// dataset's default levels.
+	Levels bucket.Levels `json:"levels,omitempty"`
+	// Groups is an inline bucketization: one sensitive-value multiset per
+	// bucket. Mutually exclusive with Dataset.
+	Groups [][]string `json:"groups,omitempty"`
+}
+
+// httpError carries a status code out of resolution helpers.
+type httpError struct {
+	code int
+	err  error
+}
+
+func (e *httpError) Error() string { return e.err.Error() }
+
+func badRequest(format string, args ...any) *httpError {
+	return &httpError{code: http.StatusBadRequest, err: fmt.Errorf(format, args...)}
+}
+
+// writeHTTPError renders an error that may carry its own status code.
+func writeHTTPError(w http.ResponseWriter, err error) {
+	var he *httpError
+	if errors.As(err, &he) {
+		writeError(w, he.code, he.err)
+		return
+	}
+	writeError(w, http.StatusBadRequest, err)
+}
+
+// resolve materializes the source. For dataset sources the bucketization
+// comes out of the dataset's warm cache; ds is nil for inline groups.
+func (s *Server) resolve(src bucketizationSource) (*bucket.Bucketization, *dataset, error) {
+	switch {
+	case src.Dataset != "" && src.Groups != nil:
+		return nil, nil, badRequest("dataset and groups are mutually exclusive")
+	case len(src.Groups) > 0 && len(src.Levels) > 0:
+		return nil, nil, badRequest("levels only apply to a registered dataset, not inline groups")
+	case src.Dataset != "":
+		ds, ok := s.registry.get(src.Dataset)
+		if !ok {
+			return nil, nil, &httpError{http.StatusNotFound, fmt.Errorf("dataset %q not registered", src.Dataset)}
+		}
+		levels := src.Levels
+		if len(levels) == 0 {
+			levels = ds.bundle.DefaultLevels
+		}
+		node, err := ds.problem.NodeForLevels(levels)
+		if err != nil {
+			return nil, nil, badRequest("%v", err)
+		}
+		bz, err := ds.problem.Bucketize(node)
+		if err != nil {
+			return nil, nil, err
+		}
+		return bz, ds, nil
+	case len(src.Groups) > 0:
+		total := 0
+		for i, g := range src.Groups {
+			if len(g) == 0 {
+				return nil, nil, badRequest("group %d is empty", i)
+			}
+			total += len(g)
+		}
+		if total > s.cfg.MaxRows {
+			return nil, nil, badRequest("inline groups hold %d tuples, above the %d-row limit", total, s.cfg.MaxRows)
+		}
+		return bucket.FromValues(src.Groups...), nil, nil
+	default:
+		return nil, nil, badRequest("either dataset or groups must be set")
+	}
+}
+
+// checkK enforces the per-request knowledge bound.
+func (s *Server) checkK(k int) error {
+	if k < 0 {
+		return badRequest("k must be >= 0, got %d", k)
+	}
+	if k > s.cfg.MaxK {
+		return badRequest("k %d above the server's limit %d", k, s.cfg.MaxK)
+	}
+	return nil
+}
+
+// ---- POST /v1/disclosure ----
+
+type disclosureRequest struct {
+	bucketizationSource
+	// K bounds the attacker's background knowledge (basic implications).
+	K int `json:"k"`
+	// Negation additionally computes the k-negated-atoms variant.
+	Negation bool `json:"negation,omitempty"`
+	// CrossBucket restricts antecedents to other buckets (§2.3 variant).
+	CrossBucket bool `json:"cross_bucket,omitempty"`
+	// Witness reconstructs an explicit worst-case knowledge formula.
+	Witness bool `json:"witness,omitempty"`
+}
+
+type witnessBody struct {
+	Target       string   `json:"target"`
+	TargetBucket int      `json:"target_bucket"`
+	Implications []string `json:"implications"`
+}
+
+type disclosureResponse struct {
+	Dataset            string        `json:"dataset,omitempty"`
+	Levels             bucket.Levels `json:"levels,omitempty"`
+	K                  int           `json:"k"`
+	Buckets            int           `json:"buckets"`
+	Tuples             int           `json:"tuples"`
+	MinEntropy         float64       `json:"min_entropy"`
+	Disclosure         float64       `json:"disclosure"`
+	NegationDisclosure *float64      `json:"negation_disclosure,omitempty"`
+	Witness            *witnessBody  `json:"witness,omitempty"`
+	ElapsedMS          float64       `json:"elapsed_ms"`
+}
+
+func (s *Server) handleDisclosure(w http.ResponseWriter, r *http.Request) {
+	var req disclosureRequest
+	if err := s.readJSON(w, r, &req); err != nil {
+		writeHTTPError(w, err)
+		return
+	}
+	if err := s.checkK(req.K); err != nil {
+		writeHTTPError(w, err)
+		return
+	}
+	release, ok := s.acquireGate(w, r)
+	if !ok {
+		return
+	}
+	defer release()
+	// The process-wide memo only warms from registered datasets (whose
+	// histogram space is bounded by their lattices); inline groups are
+	// client-chosen and would grow it without bound in a resident daemon.
+	eng := s.engine
+	if req.Dataset == "" {
+		eng = core.NewEngine()
+	}
+	begin := time.Now()
+	bz, ds, err := s.resolve(req.bucketizationSource)
+	if err != nil {
+		writeHTTPError(w, err)
+		return
+	}
+	opt := core.Options{ForbidSameBucketAntecedent: req.CrossBucket}
+	d, err := eng.MaxDisclosureOpt(bz, req.K, opt)
+	if err != nil {
+		writeHTTPError(w, err)
+		return
+	}
+	resp := disclosureResponse{
+		Dataset:    req.Dataset,
+		Levels:     req.Levels,
+		K:          req.K,
+		Buckets:    len(bz.Buckets),
+		Tuples:     bz.Size(),
+		MinEntropy: bz.MinEntropy(),
+		Disclosure: d,
+	}
+	if req.Negation {
+		nd, err := core.NegationMaxDisclosure(bz, req.K)
+		if err != nil {
+			writeHTTPError(w, err)
+			return
+		}
+		resp.NegationDisclosure = &nd
+	}
+	if req.Witness {
+		var namer func(int) string
+		if ds != nil {
+			namer = ds.bundle.Namer()
+		}
+		wit, err := eng.Witness(bz, req.K, opt, namer)
+		if err != nil {
+			writeHTTPError(w, err)
+			return
+		}
+		body := &witnessBody{
+			Target:       wit.Target.String(),
+			TargetBucket: wit.TargetBucket,
+			Implications: make([]string, len(wit.Implications)),
+		}
+		for i, imp := range wit.Implications {
+			body.Implications[i] = imp.String()
+		}
+		resp.Witness = body
+	}
+	resp.ElapsedMS = float64(time.Since(begin)) / float64(time.Millisecond)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// ---- POST /v1/check ----
+
+// criterionSpec selects and parameterizes a privacy criterion.
+type criterionSpec struct {
+	// Criterion is "ck" (default), "negation-ck", "k-anonymity",
+	// "distinct-l", "entropy-l" or "recursive-cl".
+	Criterion string  `json:"criterion,omitempty"`
+	C         float64 `json:"c,omitempty"`
+	K         int     `json:"k,omitempty"`
+	L         int     `json:"l,omitempty"`
+}
+
+// buildCriterion validates the spec against the server's limits and wires
+// eng into (c,k)-safety checks — the shared warm engine for registered
+// datasets, a private one for client-chosen inline groups.
+func (s *Server) buildCriterion(spec criterionSpec, eng *core.Engine) (privacy.Criterion, error) {
+	name := spec.Criterion
+	if name == "" {
+		name = "ck"
+	}
+	switch name {
+	case "ck":
+		if err := s.checkK(spec.K); err != nil {
+			return nil, err
+		}
+		if spec.C <= 0 || spec.C > 1 {
+			return nil, badRequest("threshold c %v outside (0, 1]", spec.C)
+		}
+		return privacy.CKSafety{C: spec.C, K: spec.K, Engine: eng}, nil
+	case "negation-ck":
+		if err := s.checkK(spec.K); err != nil {
+			return nil, err
+		}
+		if spec.C <= 0 || spec.C > 1 {
+			return nil, badRequest("threshold c %v outside (0, 1]", spec.C)
+		}
+		return privacy.NegationCKSafety{C: spec.C, K: spec.K}, nil
+	case "k-anonymity":
+		if spec.K < 1 {
+			return nil, badRequest("k-anonymity needs k >= 1, got %d", spec.K)
+		}
+		return privacy.KAnonymity{K: spec.K}, nil
+	case "distinct-l":
+		if spec.L < 1 {
+			return nil, badRequest("distinct-l needs l >= 1, got %d", spec.L)
+		}
+		return privacy.DistinctLDiversity{L: spec.L}, nil
+	case "entropy-l":
+		if spec.L < 1 {
+			return nil, badRequest("entropy-l needs l >= 1, got %d", spec.L)
+		}
+		return privacy.EntropyLDiversity{L: spec.L}, nil
+	case "recursive-cl":
+		if spec.L < 2 || spec.C <= 0 {
+			return nil, badRequest("recursive-cl needs l >= 2 and c > 0, got l=%d c=%v", spec.L, spec.C)
+		}
+		return privacy.RecursiveCLDiversity{C: spec.C, L: spec.L}, nil
+	default:
+		return nil, badRequest("unknown criterion %q (want ck, negation-ck, k-anonymity, distinct-l, entropy-l or recursive-cl)", name)
+	}
+}
+
+type checkRequest struct {
+	bucketizationSource
+	criterionSpec
+}
+
+type checkResponse struct {
+	Dataset   string        `json:"dataset,omitempty"`
+	Levels    bucket.Levels `json:"levels,omitempty"`
+	Criterion string        `json:"criterion"`
+	Safe      bool          `json:"safe"`
+	Buckets   int           `json:"buckets"`
+	ElapsedMS float64       `json:"elapsed_ms"`
+}
+
+func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
+	var req checkRequest
+	if err := s.readJSON(w, r, &req); err != nil {
+		writeHTTPError(w, err)
+		return
+	}
+	eng := s.engine
+	if req.Dataset == "" {
+		eng = core.NewEngine() // see handleDisclosure: no memo pollution
+	}
+	crit, err := s.buildCriterion(req.criterionSpec, eng)
+	if err != nil {
+		writeHTTPError(w, err)
+		return
+	}
+	release, ok := s.acquireGate(w, r)
+	if !ok {
+		return
+	}
+	defer release()
+	begin := time.Now()
+	bz, _, err := s.resolve(req.bucketizationSource)
+	if err != nil {
+		writeHTTPError(w, err)
+		return
+	}
+	safe, err := crit.Satisfied(bz)
+	if err != nil {
+		writeHTTPError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, checkResponse{
+		Dataset:   req.Dataset,
+		Levels:    req.Levels,
+		Criterion: crit.Name(),
+		Safe:      safe,
+		Buckets:   len(bz.Buckets),
+		ElapsedMS: float64(time.Since(begin)) / float64(time.Millisecond),
+	})
+}
+
+// ---- POST /v1/estimate ----
+
+type estimateRequest struct {
+	bucketizationSource
+	// Target is the atom whose posterior is estimated, e.g. "t[3]=flu"
+	// (persons are named by the dataset's namer; row indices by default).
+	Target string `json:"target"`
+	// Phi is the knowledge formula, ";"-separated implications.
+	Phi string `json:"phi,omitempty"`
+	// Samples is the Monte-Carlo budget (default 100000, capped by the
+	// server's MaxSamples).
+	Samples int `json:"samples,omitempty"`
+	// Seed makes the estimate reproducible.
+	Seed int64 `json:"seed,omitempty"`
+}
+
+type estimateResponse struct {
+	Dataset   string  `json:"dataset,omitempty"`
+	Target    string  `json:"target"`
+	Prob      float64 `json:"prob"`
+	StdErr    float64 `json:"std_err"`
+	Accepted  int     `json:"accepted"`
+	Samples   int     `json:"samples"`
+	ElapsedMS float64 `json:"elapsed_ms"`
+}
+
+func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
+	var req estimateRequest
+	if err := s.readJSON(w, r, &req); err != nil {
+		writeHTTPError(w, err)
+		return
+	}
+	if req.Target == "" {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("target is required"))
+		return
+	}
+	// Parse before resolving: syntax errors with byte offsets are the
+	// cheapest rejection.
+	target, err := logic.ParseAtom(req.Target)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	phi, err := logic.ParseConjunction(req.Phi)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	samples := req.Samples
+	if samples <= 0 {
+		samples = 100000
+	}
+	if samples > s.cfg.MaxSamples {
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("samples %d above the server's limit %d", samples, s.cfg.MaxSamples))
+		return
+	}
+	release, ok := s.acquireGate(w, r)
+	if !ok {
+		return
+	}
+	defer release()
+	begin := time.Now()
+	bz, ds, err := s.resolve(req.bucketizationSource)
+	if err != nil {
+		writeHTTPError(w, err)
+		return
+	}
+	var in worlds.Instance
+	if ds != nil {
+		in, err = worlds.FromBucketization(bz, ds.bundle.Namer())
+	} else {
+		// Inline groups carry no source table; build the random-worlds
+		// instance straight off the bucketization, so person ids come
+		// from the single authority (bucket.FromValues' tuple numbering)
+		// and values from each bucket's multiset — per-person assignment
+		// within a bucket is irrelevant under random worlds.
+		bs := make([]worlds.Bucket, len(bz.Buckets))
+		for i, b := range bz.Buckets {
+			wb := worlds.Bucket{
+				Persons: make([]string, 0, b.Size()),
+				Values:  make([]string, 0, b.Size()),
+			}
+			for _, id := range b.Tuples {
+				wb.Persons = append(wb.Persons, strconv.Itoa(id))
+			}
+			for _, vc := range b.Freq() {
+				for n := 0; n < vc.Count; n++ {
+					wb.Values = append(wb.Values, vc.Value)
+				}
+			}
+			bs[i] = wb
+		}
+		in, err = worlds.New(bs...)
+	}
+	if err != nil {
+		writeHTTPError(w, err)
+		return
+	}
+	est, err := in.EstimateCondProbParallel(target, phi, samples, s.cfg.SearchWorkers, req.Seed)
+	if err != nil {
+		writeHTTPError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, estimateResponse{
+		Dataset:   req.Dataset,
+		Target:    target.String(),
+		Prob:      est.Prob,
+		StdErr:    est.StdErr,
+		Accepted:  est.Accepted,
+		Samples:   est.Samples,
+		ElapsedMS: float64(time.Since(begin)) / float64(time.Millisecond),
+	})
+}
+
+// ---- POST /v1/anonymize and the job endpoints ----
+
+type anonymizeRequest struct {
+	// Dataset names a registered dataset (inline groups have no lattice
+	// to search, so a dataset is required here).
+	Dataset string `json:"dataset"`
+	criterionSpec
+	// Method is "minimal", "incognito" (default) or "chain".
+	Method string `json:"method,omitempty"`
+	// Utility ranks multi-node results: "discernibility" (default),
+	// "avg", "buckets" or "none".
+	Utility string `json:"utility,omitempty"`
+}
+
+type anonymizeAccepted struct {
+	ID    string   `json:"id"`
+	State JobState `json:"state"`
+	Poll  string   `json:"poll"`
+}
+
+func (s *Server) handleAnonymize(w http.ResponseWriter, r *http.Request) {
+	var req anonymizeRequest
+	if err := s.readJSON(w, r, &req); err != nil {
+		writeHTTPError(w, err)
+		return
+	}
+	if req.Dataset == "" {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("dataset is required"))
+		return
+	}
+	ds, ok := s.registry.get(req.Dataset)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("dataset %q not registered", req.Dataset))
+		return
+	}
+	crit, err := s.buildCriterion(req.criterionSpec, s.engine)
+	if err != nil {
+		writeHTTPError(w, err)
+		return
+	}
+	method := req.Method
+	if method == "" {
+		method = "incognito"
+	}
+	switch method {
+	case "minimal", "incognito", "chain":
+	default:
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("unknown method %q (want minimal, incognito or chain)", method))
+		return
+	}
+	var metric utility.Metric
+	switch req.Utility {
+	case "", "discernibility":
+		metric = utility.Discernibility{}
+	case "avg":
+		metric = utility.AvgClassSize{}
+	case "buckets":
+		metric = utility.BucketCount{}
+	case "none":
+		metric = nil
+	default:
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("unknown utility %q (want discernibility, avg, buckets or none)", req.Utility))
+		return
+	}
+	spec := &jobSpec{
+		dataset:   req.Dataset,
+		method:    method,
+		criterion: crit,
+		critName:  crit.Name(),
+		utility:   metric,
+		problem:   ds.problem,
+	}
+	j, err := s.jobs.submit(spec)
+	if err != nil {
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, anonymizeAccepted{
+		ID:    j.id,
+		State: JobQueued,
+		Poll:  "/v1/jobs/" + j.id,
+	})
+}
+
+func (s *Server) handleGetJob(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	j, ok := s.jobs.get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("job %q not found", id))
+		return
+	}
+	writeJSON(w, http.StatusOK, j.snapshot())
+}
+
+func (s *Server) handleCancelJob(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	j, ok := s.jobs.cancelJob(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("job %q not found", id))
+		return
+	}
+	writeJSON(w, http.StatusOK, j.snapshot())
+}
+
+// ---- GET /healthz and /metrics ----
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":         "ok",
+		"uptime_seconds": time.Since(s.start).Seconds(),
+		"datasets":       len(s.registry.list()),
+		"queue_depth":    s.jobs.queueDepth(),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.metrics.writeTo(w, s)
+}

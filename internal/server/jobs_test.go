@@ -1,0 +1,240 @@
+package server
+
+import (
+	"context"
+	"net/http"
+	"testing"
+	"time"
+
+	"ckprivacy/internal/anonymize"
+	"ckprivacy/internal/bucket"
+	"ckprivacy/internal/dataload"
+	"ckprivacy/internal/privacy"
+)
+
+// blockingCriterion parks every Satisfied call until released, letting the
+// tests hold a job in the running state deterministically.
+type blockingCriterion struct {
+	entered chan struct{} // closed-ish signal: one send per Satisfied call
+	release chan struct{}
+}
+
+func (b blockingCriterion) Name() string { return "blocking" }
+
+func (b blockingCriterion) Satisfied(bz *bucket.Bucketization) (bool, error) {
+	select {
+	case b.entered <- struct{}{}:
+	default:
+	}
+	<-b.release
+	return true, nil
+}
+
+// hospitalSpec builds a jobSpec over the hospital lattice with the given
+// criterion.
+func hospitalSpec(t *testing.T, crit privacy.Criterion) *jobSpec {
+	t.Helper()
+	b := dataload.Hospital()
+	p, err := anonymize.NewProblem(b.Table, b.Hierarchies, b.QI)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &jobSpec{
+		dataset:   "hospital",
+		method:    "chain",
+		criterion: crit,
+		critName:  crit.Name(),
+		problem:   p,
+	}
+}
+
+func TestJobQueueBackpressure(t *testing.T) {
+	m := newJobManager(1, 1, 64, newMetrics())
+	block := blockingCriterion{entered: make(chan struct{}, 8), release: make(chan struct{})}
+
+	// First job occupies the single worker...
+	j1, err := m.submit(hospitalSpec(t, block))
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-block.entered // ...provably running.
+
+	// Second fills the queue; third must be rejected.
+	if _, err := m.submit(hospitalSpec(t, block)); err != nil {
+		t.Fatalf("queue slot rejected: %v", err)
+	}
+	if _, err := m.submit(hospitalSpec(t, block)); err == nil {
+		t.Fatal("third submission accepted despite a full queue")
+	}
+	if got := m.queueDepth(); got != 1 {
+		t.Errorf("queue depth = %d, want 1", got)
+	}
+
+	close(block.release)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := m.shutdown(ctx); err != nil {
+		t.Fatalf("drain after release: %v", err)
+	}
+	st := j1.snapshot()
+	if st.State != JobDone {
+		t.Errorf("first job = %q, want done", st.State)
+	}
+	// Submissions after shutdown are refused.
+	if _, err := m.submit(hospitalSpec(t, block)); err == nil {
+		t.Error("submit after shutdown accepted")
+	}
+}
+
+func TestJobCancelQueuedAndRunning(t *testing.T) {
+	m := newJobManager(1, 4, 64, newMetrics())
+	block := blockingCriterion{entered: make(chan struct{}, 8), release: make(chan struct{})}
+
+	running, err := m.submit(hospitalSpec(t, block))
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-block.entered
+	queued, err := m.submit(hospitalSpec(t, block))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Cancelling the queued job flips it to cancelled without running.
+	if j, ok := m.cancelJob(queued.id); !ok || j.snapshot().State != JobCancelled {
+		t.Fatalf("queued cancel = %v", j.snapshot())
+	}
+	// Cancelling the running job: the context aborts the search once the
+	// criterion returns.
+	if _, ok := m.cancelJob(running.id); !ok {
+		t.Fatal("running job not found")
+	}
+	close(block.release)
+
+	deadline := time.Now().Add(10 * time.Second)
+	for running.snapshot().State == JobRunning || running.snapshot().State == JobQueued {
+		if time.Now().After(deadline) {
+			t.Fatalf("running job stuck in %q after cancel", running.snapshot().State)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if st := running.snapshot(); st.State != JobCancelled {
+		t.Errorf("cancelled running job = %q", st.State)
+	}
+	if _, ok := m.cancelJob("job-000099"); ok {
+		t.Error("cancel of unknown job reported success")
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := m.shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestShutdownDeadlineCancelsJobs drives the deadline path: shutdown with
+// an already-expired context must cancel the running job and still return
+// once the workers exit.
+func TestShutdownDeadlineCancelsJobs(t *testing.T) {
+	m := newJobManager(1, 4, 64, newMetrics())
+	// A ck criterion with the real DP would finish too fast to observe;
+	// block until the shutdown path cancels us, then release.
+	block := blockingCriterion{entered: make(chan struct{}, 8), release: make(chan struct{})}
+	j, err := m.submit(hospitalSpec(t, block))
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-block.entered
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // expired before the drain starts
+	done := make(chan error, 1)
+	go func() { done <- m.shutdown(ctx) }()
+
+	// shutdown cancels the job's context, the blocked criterion releases,
+	// and the ctxCriterion aborts the search.
+	select {
+	case <-j.ctx.Done():
+	case <-time.After(10 * time.Second):
+		t.Fatal("shutdown never cancelled the running job")
+	}
+	close(block.release)
+	if err := <-done; err == nil {
+		t.Error("deadline shutdown returned nil, want context error")
+	}
+	if st := j.snapshot(); st.State != JobCancelled {
+		t.Errorf("job after deadline shutdown = %q, want cancelled", st.State)
+	}
+}
+
+// TestJobFailure surfaces search errors as the failed state.
+func TestJobFailure(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	registerHospital(t, ts.URL, "h")
+
+	// A k above the per-request cap is rejected at submission time.
+	var e errorBody
+	if code := postJSON(t, ts.URL+"/v1/anonymize",
+		map[string]any{"dataset": "h", "criterion": "ck", "c": 0.7, "k": 99}, &e); code != http.StatusBadRequest {
+		t.Fatalf("over-cap anonymize = %d", code)
+	}
+
+	// "No safe generalization exists" is a successful result with
+	// Exists=false: distinct-l with more values than the domain holds.
+	var acc anonymizeAccepted
+	if code := postJSON(t, ts.URL+"/v1/anonymize",
+		map[string]any{"dataset": "h", "criterion": "distinct-l", "l": 40, "method": "chain"},
+		&acc); code != http.StatusAccepted {
+		t.Fatalf("anonymize = %d", code)
+	}
+	st := pollJob(t, ts.URL, acc.ID)
+	if st.State != JobDone || st.Result == nil || st.Result.Exists {
+		t.Errorf("impossible criterion job = %+v", st)
+	}
+}
+
+// TestJobHistoryEviction bounds the retained-job map: once more than
+// maxHistory jobs exist, the oldest terminal ones are dropped while live
+// ones survive.
+func TestJobHistoryEviction(t *testing.T) {
+	m := newJobManager(1, 8, 3, newMetrics())
+	crit := privacy.KAnonymity{K: 1} // trivially fast jobs
+
+	var ids []string
+	for i := 0; i < 6; i++ {
+		j, err := m.submit(hospitalSpec(t, crit))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, j.id)
+		// Let each job finish so it is evictable before the next submit.
+		deadline := time.Now().Add(10 * time.Second)
+		for {
+			if st := j.snapshot(); st.State == JobDone {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("job %s never finished", j.id)
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+	m.mu.Lock()
+	retained := len(m.jobs)
+	m.mu.Unlock()
+	if retained > 3 {
+		t.Errorf("retained %d jobs, want <= 3", retained)
+	}
+	if _, ok := m.get(ids[0]); ok {
+		t.Errorf("oldest job %s survived eviction", ids[0])
+	}
+	if _, ok := m.get(ids[len(ids)-1]); !ok {
+		t.Errorf("newest job %s was evicted", ids[len(ids)-1])
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := m.shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,164 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+)
+
+// metrics collects per-endpoint request counts and latency sums plus job
+// counters, and renders them — together with the live cache and queue
+// gauges read off the server — in Prometheus text exposition format. Only
+// the stdlib is used; the small fixed label space keeps a mutex-protected
+// map cheap enough for the request path.
+type metrics struct {
+	mu sync.Mutex
+	// requests counts finished requests by (route pattern, status code).
+	requests map[requestKey]uint64
+	// latencySum/latencyCount accumulate seconds by route pattern.
+	latencySum   map[string]float64
+	latencyCount map[string]uint64
+	// jobs counts job submissions by terminal state ("queued" counts
+	// submissions; "done", "failed", "cancelled" count completions).
+	jobs map[string]uint64
+}
+
+type requestKey struct {
+	pattern string
+	code    int
+}
+
+func newMetrics() *metrics {
+	return &metrics{
+		requests:     make(map[requestKey]uint64),
+		latencySum:   make(map[string]float64),
+		latencyCount: make(map[string]uint64),
+		jobs:         make(map[string]uint64),
+	}
+}
+
+// statusRecorder captures the status code a handler writes.
+type statusRecorder struct {
+	http.ResponseWriter
+	code int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.code = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps a handler to record count and latency under the route
+// pattern label.
+func (m *metrics) instrument(pattern string, h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
+		begin := time.Now()
+		h.ServeHTTP(rec, r)
+		elapsed := time.Since(begin).Seconds()
+		m.mu.Lock()
+		m.requests[requestKey{pattern, rec.code}]++
+		m.latencySum[pattern] += elapsed
+		m.latencyCount[pattern]++
+		m.mu.Unlock()
+	})
+}
+
+// countJob bumps one job-state counter.
+func (m *metrics) countJob(state string) {
+	m.mu.Lock()
+	m.jobs[state]++
+	m.mu.Unlock()
+}
+
+// writeTo renders the metrics for the /metrics endpoint. Families are
+// sorted so the output is deterministic (and therefore testable).
+func (m *metrics) writeTo(w io.Writer, s *Server) {
+	m.mu.Lock()
+	reqKeys := make([]requestKey, 0, len(m.requests))
+	for k := range m.requests {
+		reqKeys = append(reqKeys, k)
+	}
+	sort.Slice(reqKeys, func(i, j int) bool {
+		if reqKeys[i].pattern != reqKeys[j].pattern {
+			return reqKeys[i].pattern < reqKeys[j].pattern
+		}
+		return reqKeys[i].code < reqKeys[j].code
+	})
+	latKeys := make([]string, 0, len(m.latencySum))
+	for k := range m.latencySum {
+		latKeys = append(latKeys, k)
+	}
+	sort.Strings(latKeys)
+	jobKeys := make([]string, 0, len(m.jobs))
+	for k := range m.jobs {
+		jobKeys = append(jobKeys, k)
+	}
+	sort.Strings(jobKeys)
+
+	fmt.Fprintln(w, "# HELP ckprivacyd_requests_total Finished HTTP requests by route and status code.")
+	fmt.Fprintln(w, "# TYPE ckprivacyd_requests_total counter")
+	for _, k := range reqKeys {
+		fmt.Fprintf(w, "ckprivacyd_requests_total{route=%q,code=\"%d\"} %d\n", k.pattern, k.code, m.requests[k])
+	}
+	fmt.Fprintln(w, "# HELP ckprivacyd_request_seconds Summed wall-clock request latency by route.")
+	fmt.Fprintln(w, "# TYPE ckprivacyd_request_seconds summary")
+	for _, k := range latKeys {
+		fmt.Fprintf(w, "ckprivacyd_request_seconds_sum{route=%q} %g\n", k, m.latencySum[k])
+		fmt.Fprintf(w, "ckprivacyd_request_seconds_count{route=%q} %d\n", k, m.latencyCount[k])
+	}
+	fmt.Fprintln(w, "# HELP ckprivacyd_jobs_total Anonymization jobs by lifecycle event.")
+	fmt.Fprintln(w, "# TYPE ckprivacyd_jobs_total counter")
+	for _, k := range jobKeys {
+		fmt.Fprintf(w, "ckprivacyd_jobs_total{event=%q} %d\n", k, m.jobs[k])
+	}
+	m.mu.Unlock()
+
+	// Live gauges read outside the metrics lock: engine memo, per-dataset
+	// bucketization caches, queue depth.
+	es := s.engine.Stats()
+	fmt.Fprintln(w, "# HELP ckprivacyd_engine_memo_hits_total Disclosure-engine MINIMIZE1 memo hits.")
+	fmt.Fprintln(w, "# TYPE ckprivacyd_engine_memo_hits_total counter")
+	fmt.Fprintf(w, "ckprivacyd_engine_memo_hits_total %d\n", es.Hits)
+	fmt.Fprintln(w, "# HELP ckprivacyd_engine_memo_misses_total Disclosure-engine MINIMIZE1 memo misses.")
+	fmt.Fprintln(w, "# TYPE ckprivacyd_engine_memo_misses_total counter")
+	fmt.Fprintf(w, "ckprivacyd_engine_memo_misses_total %d\n", es.Misses)
+	fmt.Fprintln(w, "# HELP ckprivacyd_engine_memo_entries Distinct memoized (histogram, k) entries.")
+	fmt.Fprintln(w, "# TYPE ckprivacyd_engine_memo_entries gauge")
+	fmt.Fprintf(w, "ckprivacyd_engine_memo_entries %d\n", s.engine.CacheSize())
+
+	fmt.Fprintln(w, "# HELP ckprivacyd_dataset_cache_hits_total Bucketization-cache hits by dataset.")
+	fmt.Fprintln(w, "# TYPE ckprivacyd_dataset_cache_hits_total counter")
+	infos := s.registry.list()
+	for _, info := range infos {
+		cs := info.ds.problem.CacheStats()
+		fmt.Fprintf(w, "ckprivacyd_dataset_cache_hits_total{dataset=%q} %d\n", info.name, cs.Hits)
+	}
+	fmt.Fprintln(w, "# HELP ckprivacyd_dataset_cache_misses_total Bucketization-cache misses by dataset.")
+	fmt.Fprintln(w, "# TYPE ckprivacyd_dataset_cache_misses_total counter")
+	for _, info := range infos {
+		cs := info.ds.problem.CacheStats()
+		fmt.Fprintf(w, "ckprivacyd_dataset_cache_misses_total{dataset=%q} %d\n", info.name, cs.Misses)
+	}
+	fmt.Fprintln(w, "# HELP ckprivacyd_dataset_cache_entries Cached bucketizations by dataset.")
+	fmt.Fprintln(w, "# TYPE ckprivacyd_dataset_cache_entries gauge")
+	for _, info := range infos {
+		cs := info.ds.problem.CacheStats()
+		fmt.Fprintf(w, "ckprivacyd_dataset_cache_entries{dataset=%q} %d\n", info.name, cs.Entries)
+	}
+
+	fmt.Fprintln(w, "# HELP ckprivacyd_datasets_registered Registered datasets.")
+	fmt.Fprintln(w, "# TYPE ckprivacyd_datasets_registered gauge")
+	fmt.Fprintf(w, "ckprivacyd_datasets_registered %d\n", len(infos))
+
+	fmt.Fprintln(w, "# HELP ckprivacyd_jobs_queue_depth Jobs waiting in the bounded queue.")
+	fmt.Fprintln(w, "# TYPE ckprivacyd_jobs_queue_depth gauge")
+	fmt.Fprintf(w, "ckprivacyd_jobs_queue_depth %d\n", s.jobs.queueDepth())
+
+	fmt.Fprintln(w, "# HELP ckprivacyd_uptime_seconds Seconds since the server started.")
+	fmt.Fprintln(w, "# TYPE ckprivacyd_uptime_seconds gauge")
+	fmt.Fprintf(w, "ckprivacyd_uptime_seconds %g\n", time.Since(s.start).Seconds())
+}

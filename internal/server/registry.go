@@ -1,0 +1,106 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"regexp"
+	"sort"
+	"sync"
+
+	"ckprivacy/internal/anonymize"
+	"ckprivacy/internal/dataload"
+)
+
+// errAlreadyRegistered marks duplicate-name registrations (HTTP 409).
+var errAlreadyRegistered = errors.New("already registered")
+
+// dataset is one registered table with its warm state: the bundle (table,
+// hierarchies, QI) and a long-lived anonymize.Problem whose sharded
+// bucketization cache persists across requests. All disclosure math on the
+// dataset flows through the problem so repeated generalizations are
+// materialized once.
+type dataset struct {
+	bundle  *dataload.Bundle
+	problem *anonymize.Problem
+}
+
+// registry maps dataset names to their warm state.
+type registry struct {
+	mu     sync.RWMutex
+	byName map[string]*dataset
+	max    int
+}
+
+func newRegistry(max int) *registry {
+	return &registry{byName: make(map[string]*dataset), max: max}
+}
+
+// nameRE restricts dataset names to something URL-path-safe.
+var nameRE = regexp.MustCompile(`^[a-zA-Z0-9][a-zA-Z0-9._-]{0,63}$`)
+
+// add registers a bundle under name, building its long-lived Problem with
+// the given lattice worker budget. Duplicate names and full registries are
+// errors, rejected cheaply before the Problem (lattice space, caches) is
+// built; the check repeats at insertion in case a racing registration of
+// the same name won in between.
+func (r *registry) add(name string, b *dataload.Bundle, searchWorkers int) (*dataset, error) {
+	if !nameRE.MatchString(name) {
+		return nil, fmt.Errorf("invalid dataset name %q (want [a-zA-Z0-9._-], max 64 chars)", name)
+	}
+	r.mu.Lock()
+	err := r.capacityLocked(name)
+	r.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	p, err := anonymize.NewProblem(b.Table, b.Hierarchies, b.QI, anonymize.WithWorkers(searchWorkers))
+	if err != nil {
+		return nil, err
+	}
+	ds := &dataset{bundle: b, problem: p}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if err := r.capacityLocked(name); err != nil {
+		return nil, err
+	}
+	r.byName[name] = ds
+	return ds, nil
+}
+
+// capacityLocked reports whether a registration of name could currently
+// succeed; the caller holds r.mu.
+func (r *registry) capacityLocked(name string) error {
+	if _, exists := r.byName[name]; exists {
+		return fmt.Errorf("dataset %q %w", name, errAlreadyRegistered)
+	}
+	if len(r.byName) >= r.max {
+		return fmt.Errorf("registry full (%d datasets)", r.max)
+	}
+	return nil
+}
+
+// get looks a dataset up by name.
+func (r *registry) get(name string) (*dataset, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	ds, ok := r.byName[name]
+	return ds, ok
+}
+
+// namedDataset pairs a dataset with its registry name for listings.
+type namedDataset struct {
+	name string
+	ds   *dataset
+}
+
+// list returns the registered datasets sorted by name.
+func (r *registry) list() []namedDataset {
+	r.mu.RLock()
+	out := make([]namedDataset, 0, len(r.byName))
+	for name, ds := range r.byName {
+		out = append(out, namedDataset{name, ds})
+	}
+	r.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}

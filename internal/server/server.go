@@ -1,0 +1,204 @@
+// Package server is ckprivacy's serving subsystem: a long-running HTTP
+// disclosure-auditing service over the paper's O(|B|·k³) MaxDisclosure
+// check. It keeps a dataset registry (register a CSV table + hierarchies
+// once, reference by name thereafter), threads one process-wide disclosure
+// engine memo and one per-dataset bucketization cache across requests so
+// hot datasets are served from warm state, runs lattice-search anonymization
+// as asynchronous jobs on a bounded queue, enforces per-request k/size
+// limits plus a global concurrency gate for backpressure, and exports its
+// counters in Prometheus text format. stdlib net/http only.
+package server
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"runtime"
+	"time"
+
+	"ckprivacy/internal/core"
+	"ckprivacy/internal/dataload"
+)
+
+// Config tunes the service. The zero value is usable: every limit falls
+// back to the documented default.
+type Config struct {
+	// MaxK caps the background-knowledge bound k accepted per request.
+	// The DP is cubic in k, so this is the main per-request cost limit.
+	// Default 16.
+	MaxK int
+	// MaxRows caps the size of a registered dataset. Default 200000.
+	MaxRows int
+	// MaxDatasets caps the registry size. Default 64.
+	MaxDatasets int
+	// MaxBodyBytes caps request bodies. Default 8 MiB.
+	MaxBodyBytes int64
+	// MaxSamples caps a Monte-Carlo estimate request's sample budget.
+	// Default 1000000.
+	MaxSamples int
+	// MaxConcurrent is the global concurrency gate: at most this many
+	// compute-heavy requests (disclosure, check, estimate) run at once;
+	// excess requests wait up to GateWait and are then shed with 503.
+	// Default GOMAXPROCS.
+	MaxConcurrent int
+	// GateWait is how long a request may wait on the gate before being
+	// shed. Default 2s.
+	GateWait time.Duration
+	// JobWorkers is the number of background anonymization jobs run
+	// concurrently. Default 2.
+	JobWorkers int
+	// JobQueueSize bounds the pending-job queue; submissions beyond it are
+	// rejected with 503. Default 16.
+	JobQueueSize int
+	// JobHistory bounds how many jobs (finished ones included, kept for
+	// polling) are retained; the oldest terminal jobs are evicted first.
+	// Default 256.
+	JobHistory int
+	// SearchWorkers is the per-search lattice worker budget (the library's
+	// WithWorkers knob) used by anonymization jobs, per-dataset
+	// bucketization and Monte-Carlo estimates. Values below 1 — including
+	// the zero value — mean one worker per CPU core, matching the
+	// library-wide convention.
+	SearchWorkers int
+}
+
+// withDefaults resolves zero fields to their documented defaults.
+func (c Config) withDefaults() Config {
+	if c.MaxK <= 0 {
+		c.MaxK = 16
+	}
+	if c.MaxRows <= 0 {
+		c.MaxRows = 200000
+	}
+	if c.MaxDatasets <= 0 {
+		c.MaxDatasets = 64
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 8 << 20
+	}
+	if c.MaxSamples <= 0 {
+		c.MaxSamples = 1000000
+	}
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = runtime.GOMAXPROCS(0)
+	}
+	if c.GateWait <= 0 {
+		c.GateWait = 2 * time.Second
+	}
+	if c.JobWorkers <= 0 {
+		c.JobWorkers = 2
+	}
+	if c.JobQueueSize <= 0 {
+		c.JobQueueSize = 16
+	}
+	if c.JobHistory <= 0 {
+		c.JobHistory = 256
+	}
+	// SearchWorkers is passed through: anonymize.WithWorkers and
+	// parallel.Workers already treat values below 1 as one per CPU core.
+	return c
+}
+
+// Server is the resident service: shared engine, dataset registry, job
+// manager and metrics, wired onto a method-pattern ServeMux.
+type Server struct {
+	cfg      Config
+	engine   *core.Engine
+	registry *registry
+	jobs     *jobManager
+	metrics  *metrics
+	gate     chan struct{}
+	start    time.Time
+	mux      *http.ServeMux
+}
+
+// New builds a Server and starts its job workers.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:      cfg,
+		engine:   core.NewEngine(),
+		registry: newRegistry(cfg.MaxDatasets),
+		metrics:  newMetrics(),
+		gate:     make(chan struct{}, cfg.MaxConcurrent),
+		start:    time.Now(),
+		mux:      http.NewServeMux(),
+	}
+	s.jobs = newJobManager(cfg.JobWorkers, cfg.JobQueueSize, cfg.JobHistory, s.metrics)
+	s.routes()
+	return s
+}
+
+// Engine exposes the process-wide shared disclosure engine (for tests and
+// embedding callers).
+func (s *Server) Engine() *core.Engine { return s.engine }
+
+// Register adds a bundle to the dataset registry programmatically — the
+// daemon's -preload path and embedding callers use this; HTTP clients use
+// POST /v1/datasets.
+func (s *Server) Register(name string, b *dataload.Bundle) error {
+	_, err := s.registry.add(name, b, s.cfg.SearchWorkers)
+	return err
+}
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Shutdown drains the job queue (in-flight and queued jobs finish) and
+// stops the job workers. If ctx expires first, running jobs are cancelled
+// and Shutdown returns ctx.Err() once the workers exit. The HTTP listener
+// itself is the caller's to close (http.Server.Shutdown); cmd/ckprivacyd
+// sequences both on SIGTERM.
+func (s *Server) Shutdown(ctx context.Context) error {
+	return s.jobs.shutdown(ctx)
+}
+
+// routes installs every endpoint, instrumented for metrics.
+func (s *Server) routes() {
+	handle := func(pattern string, h http.HandlerFunc) {
+		s.mux.Handle(pattern, s.metrics.instrument(pattern, h))
+	}
+	handle("POST /v1/datasets", s.handleRegisterDataset)
+	handle("GET /v1/datasets", s.handleListDatasets)
+	handle("GET /v1/datasets/{name}", s.handleGetDataset)
+	handle("POST /v1/disclosure", s.handleDisclosure)
+	handle("POST /v1/check", s.handleCheck)
+	handle("POST /v1/estimate", s.handleEstimate)
+	handle("POST /v1/anonymize", s.handleAnonymize)
+	handle("GET /v1/jobs/{id}", s.handleGetJob)
+	handle("DELETE /v1/jobs/{id}", s.handleCancelJob)
+	handle("GET /healthz", s.handleHealthz)
+	handle("GET /metrics", s.handleMetrics)
+}
+
+// acquireGate claims a slot on the global concurrency gate: immediately
+// if one is free, otherwise waiting up to GateWait before shedding the
+// request with 503 + Retry-After. This is the backpressure mechanism that
+// keeps a flood of expensive DP requests from piling onto the CPU
+// unboundedly. Handlers call it only after the request body is fully
+// decoded and validated, so slow-loris bodies cannot wedge compute slots.
+// On success the caller must invoke the returned release.
+func (s *Server) acquireGate(w http.ResponseWriter, r *http.Request) (release func(), ok bool) {
+	select {
+	case s.gate <- struct{}{}:
+	default:
+		timer := time.NewTimer(s.cfg.GateWait)
+		defer timer.Stop()
+		select {
+		case s.gate <- struct{}{}:
+		case <-timer.C:
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusServiceUnavailable,
+				fmt.Errorf("server saturated: %d computations in flight", s.cfg.MaxConcurrent))
+			return nil, false
+		case <-r.Context().Done():
+			writeError(w, statusClientClosedRequest, r.Context().Err())
+			return nil, false
+		}
+	}
+	return func() { <-s.gate }, true
+}
+
+// statusClientClosedRequest is nginx's non-standard 499 (client closed
+// request); used when a request dies waiting on the gate.
+const statusClientClosedRequest = 499

@@ -1,0 +1,569 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"ckprivacy/internal/anonymize"
+	"ckprivacy/internal/core"
+	"ckprivacy/internal/dataload"
+	"ckprivacy/internal/privacy"
+)
+
+// newTestServer spins up the service on httptest with test-friendly
+// limits.
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	s := New(cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = s.Shutdown(shutdownCtx)
+	})
+	return s, ts
+}
+
+// postJSON posts v and decodes the response body into out (when non-nil),
+// returning the status code.
+func postJSON(t *testing.T, url string, v any, out any) int {
+	t.Helper()
+	body, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != nil {
+		if err := json.Unmarshal(data, out); err != nil {
+			t.Fatalf("unmarshal %q: %v", data, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+// postJSONClient is postJSON without test plumbing, for concurrent
+// clients; it returns 0 on transport errors.
+func postJSONClient(client *http.Client, url string, v any, out any) int {
+	body, err := json.Marshal(v)
+	if err != nil {
+		return 0
+	}
+	resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return 0
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return 0
+	}
+	if out != nil {
+		if err := json.Unmarshal(data, out); err != nil {
+			return 0
+		}
+	}
+	return resp.StatusCode
+}
+
+// getJSONClient is getJSON's transport-error-tolerant sibling.
+func getJSONClient(client *http.Client, url string, out any) int {
+	resp, err := client.Get(url)
+	if err != nil {
+		return 0
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return 0
+	}
+	if out != nil {
+		if err := json.Unmarshal(data, out); err != nil {
+			return 0
+		}
+	}
+	return resp.StatusCode
+}
+
+// getJSON GETs url into out, returning the status code.
+func getJSON(t *testing.T, url string, out any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != nil {
+		if err := json.Unmarshal(data, out); err != nil {
+			t.Fatalf("unmarshal %q: %v", data, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+// getText GETs url as plain text.
+func getText(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s = %d: %s", url, resp.StatusCode, data)
+	}
+	return string(data)
+}
+
+// registerHospital registers the built-in hospital example under name.
+func registerHospital(t *testing.T, url, name string) {
+	t.Helper()
+	code := postJSON(t, url+"/v1/datasets",
+		map[string]any{"name": name, "builtin": "hospital"}, nil)
+	if code != http.StatusCreated {
+		t.Fatalf("register hospital = %d", code)
+	}
+}
+
+// pollJob polls a job until it reaches a terminal state.
+func pollJob(t *testing.T, url, id string) jobStatus {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		var st jobStatus
+		if code := getJSON(t, url+"/v1/jobs/"+id, &st); code != http.StatusOK {
+			t.Fatalf("poll %s = %d", id, code)
+		}
+		switch st.State {
+		case JobDone, JobFailed, JobCancelled:
+			return st
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s stuck in state %q", id, st.State)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestEndToEnd is the acceptance flow: register a dataset, run a
+// synchronous disclosure check twice (the repeat must be served warm),
+// submit an async anonymize job, poll it to completion, and verify the
+// returned nodes match the library's MinimalSafe answer.
+func TestEndToEnd(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	registerHospital(t, ts.URL, "hospital")
+
+	// Synchronous disclosure on the registered dataset (default levels =
+	// the paper's Figure 3 partition), with witness.
+	var disc disclosureResponse
+	req := map[string]any{"dataset": "hospital", "k": 1, "witness": true, "negation": true}
+	if code := postJSON(t, ts.URL+"/v1/disclosure", req, &disc); code != http.StatusOK {
+		t.Fatalf("disclosure = %d", code)
+	}
+	if disc.Buckets != 2 || disc.Tuples != 10 {
+		t.Errorf("disclosure over %d buckets / %d tuples, want 2 / 10", disc.Buckets, disc.Tuples)
+	}
+	if disc.Disclosure < 0.66 || disc.Disclosure > 0.67 {
+		t.Errorf("k=1 disclosure = %v, want 2/3", disc.Disclosure)
+	}
+	if disc.NegationDisclosure == nil || *disc.NegationDisclosure > disc.Disclosure+1e-12 {
+		t.Errorf("negation disclosure %v should be <= full disclosure %v", disc.NegationDisclosure, disc.Disclosure)
+	}
+	if disc.Witness == nil || len(disc.Witness.Implications) != 1 {
+		t.Fatalf("witness = %+v, want 1 implication", disc.Witness)
+	}
+	// Witness persons are the paper's names, courtesy of the bundle namer.
+	if !strings.Contains(disc.Witness.Target, "t[") {
+		t.Errorf("witness target %q is not an atom", disc.Witness.Target)
+	}
+
+	// The identical repeat must hit the warm per-dataset bucketization
+	// cache and the engine memo; /metrics proves it.
+	var disc2 disclosureResponse
+	if code := postJSON(t, ts.URL+"/v1/disclosure", req, &disc2); code != http.StatusOK {
+		t.Fatalf("repeat disclosure = %d", code)
+	}
+	if disc2.Disclosure != disc.Disclosure {
+		t.Errorf("warm disclosure %v != cold %v", disc2.Disclosure, disc.Disclosure)
+	}
+	metrics := getText(t, ts.URL+"/metrics")
+	if !strings.Contains(metrics, `ckprivacyd_dataset_cache_hits_total{dataset="hospital"} 1`) {
+		t.Errorf("metrics do not show the warm bucketization-cache hit:\n%s", grepMetrics(metrics, "dataset_cache"))
+	}
+	if strings.Contains(metrics, "ckprivacyd_engine_memo_hits_total 0\n") {
+		t.Errorf("engine memo shows no hits after a repeated identical request:\n%s", grepMetrics(metrics, "engine_memo"))
+	}
+
+	// (c,k)-safety verdict through /v1/check: the Figure 3 partition is
+	// not (0.6,1)-safe (disclosure 2/3) but is (0.7,1)-safe.
+	var chk checkResponse
+	if code := postJSON(t, ts.URL+"/v1/check",
+		map[string]any{"dataset": "hospital", "criterion": "ck", "c": 0.6, "k": 1}, &chk); code != http.StatusOK {
+		t.Fatalf("check = %d", code)
+	}
+	if chk.Safe {
+		t.Errorf("(0.6,1)-safety should fail at disclosure 2/3")
+	}
+	if code := postJSON(t, ts.URL+"/v1/check",
+		map[string]any{"dataset": "hospital", "criterion": "ck", "c": 0.7, "k": 1}, &chk); code != http.StatusOK || !chk.Safe {
+		t.Errorf("(0.7,1)-safety = %v (code %d), want safe", chk.Safe, 0)
+	}
+
+	// Async anonymization: minimal (c,k)-safe generalizations of the
+	// hospital lattice, polled to completion.
+	var acc anonymizeAccepted
+	if code := postJSON(t, ts.URL+"/v1/anonymize",
+		map[string]any{"dataset": "hospital", "criterion": "ck", "c": 0.7, "k": 1, "method": "minimal"},
+		&acc); code != http.StatusAccepted {
+		t.Fatalf("anonymize = %d", code)
+	}
+	st := pollJob(t, ts.URL, acc.ID)
+	if st.State != JobDone || st.Result == nil {
+		t.Fatalf("job = %+v", st)
+	}
+
+	// The service's answer must match the library's, computed directly.
+	b := dataload.Hospital()
+	p, err := anonymize.NewProblem(b.Table, b.Hierarchies, b.QI)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantNodes, _, err := p.MinimalSafe(privacy.CKSafety{C: 0.7, K: 1, Engine: core.NewEngine()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Result.Nodes) != len(wantNodes) {
+		t.Fatalf("job found %d nodes, library found %d", len(st.Result.Nodes), len(wantNodes))
+	}
+	for i, want := range wantNodes {
+		got := st.Result.Nodes[i]
+		if fmt.Sprint(got) != fmt.Sprint([]int(want)) {
+			t.Errorf("node %d = %v, want %v", i, got, want)
+		}
+	}
+	if !st.Result.Exists || st.Result.Best == nil || st.Result.Best.Buckets == 0 {
+		t.Errorf("result lacks utility ranking: %+v", st.Result)
+	}
+}
+
+// grepMetrics keeps the lines mentioning substr, for readable failures.
+func grepMetrics(metrics, substr string) string {
+	var out []string
+	for _, line := range strings.Split(metrics, "\n") {
+		if strings.Contains(line, substr) {
+			out = append(out, line)
+		}
+	}
+	return strings.Join(out, "\n")
+}
+
+func TestInlineGroupsAndHealthz(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+
+	// The quickstart bucketization, inline — no registration needed.
+	var disc disclosureResponse
+	req := map[string]any{
+		"groups": [][]string{
+			{"flu", "flu", "lung-cancer", "lung-cancer", "mumps"},
+			{"flu", "flu", "breast-cancer", "ovarian-cancer", "heart-disease"},
+		},
+		"k": 1,
+	}
+	if code := postJSON(t, ts.URL+"/v1/disclosure", req, &disc); code != http.StatusOK {
+		t.Fatalf("inline disclosure = %d", code)
+	}
+	if disc.Disclosure < 0.66 || disc.Disclosure > 0.67 {
+		t.Errorf("inline k=1 disclosure = %v, want 2/3", disc.Disclosure)
+	}
+
+	var health struct {
+		Status   string `json:"status"`
+		Datasets int    `json:"datasets"`
+	}
+	if code := getJSON(t, ts.URL+"/healthz", &health); code != http.StatusOK || health.Status != "ok" {
+		t.Errorf("healthz = %d %+v", code, health)
+	}
+}
+
+func TestDatasetRegistry(t *testing.T) {
+	_, ts := newTestServer(t, Config{MaxDatasets: 2})
+	registerHospital(t, ts.URL, "hospital")
+
+	// Duplicate names conflict.
+	var e errorBody
+	if code := postJSON(t, ts.URL+"/v1/datasets",
+		map[string]any{"name": "hospital", "builtin": "hospital"}, &e); code != http.StatusConflict {
+		t.Errorf("duplicate register = %d (%s)", code, e.Error)
+	}
+
+	// Registration via custom spec.
+	spec := map[string]any{
+		"name": "mini",
+		"spec": map[string]any{
+			"attributes": []map[string]any{
+				{"name": "Zip", "kind": "numeric", "min": 0, "max": 99999},
+				{"name": "Illness", "kind": "categorical", "domain": []string{"flu", "cold"}},
+			},
+			"sensitive": "Illness",
+			"hierarchies": []map[string]any{
+				{"attribute": "Zip", "kind": "interval", "widths": []int{1, 10, 0}},
+			},
+			"csv": "Zip,Illness\n14850,flu\n14851,cold\n14852,flu\n14853,cold\n",
+		},
+	}
+	var info datasetInfo
+	if code := postJSON(t, ts.URL+"/v1/datasets", spec, &info); code != http.StatusCreated {
+		t.Fatalf("spec register = %d", code)
+	}
+	if info.Rows != 4 || info.Sensitive != "Illness" {
+		t.Errorf("spec info = %+v", info)
+	}
+
+	// Registry is now full.
+	if code := postJSON(t, ts.URL+"/v1/datasets",
+		map[string]any{"name": "third", "builtin": "hospital"}, &e); code != http.StatusBadRequest {
+		t.Errorf("register over capacity = %d", code)
+	}
+
+	var list struct {
+		Datasets []datasetInfo `json:"datasets"`
+	}
+	if code := getJSON(t, ts.URL+"/v1/datasets", &list); code != http.StatusOK || len(list.Datasets) != 2 {
+		t.Fatalf("list = %d, %d datasets", code, len(list.Datasets))
+	}
+	if list.Datasets[0].Name != "hospital" || list.Datasets[1].Name != "mini" {
+		t.Errorf("listing order = %q, %q", list.Datasets[0].Name, list.Datasets[1].Name)
+	}
+	if code := getJSON(t, ts.URL+"/v1/datasets/mini", &info); code != http.StatusOK || info.Name != "mini" {
+		t.Errorf("get dataset = %d %+v", code, info)
+	}
+	if code := getJSON(t, ts.URL+"/v1/datasets/ghost", &e); code != http.StatusNotFound {
+		t.Errorf("get unknown dataset = %d", code)
+	}
+}
+
+func TestRequestValidation(t *testing.T) {
+	_, ts := newTestServer(t, Config{MaxK: 4, MaxRows: 100})
+	registerHospital(t, ts.URL, "h")
+
+	var e errorBody
+	cases := []struct {
+		name string
+		path string
+		body map[string]any
+		code int
+	}{
+		{"k over limit", "/v1/disclosure", map[string]any{"dataset": "h", "k": 5}, 400},
+		{"negative k", "/v1/disclosure", map[string]any{"dataset": "h", "k": -1}, 400},
+		{"unknown dataset", "/v1/disclosure", map[string]any{"dataset": "ghost", "k": 1}, 404},
+		{"dataset and groups", "/v1/disclosure",
+			map[string]any{"dataset": "h", "groups": [][]string{{"a"}}, "k": 1}, 400},
+		{"groups with levels", "/v1/disclosure",
+			map[string]any{"groups": [][]string{{"a", "b"}}, "levels": map[string]int{"Zip": 1}, "k": 1}, 400},
+		{"no source", "/v1/disclosure", map[string]any{"k": 1}, 400},
+		{"empty group", "/v1/disclosure", map[string]any{"groups": [][]string{{}}, "k": 1}, 400},
+		{"bad levels attr", "/v1/disclosure",
+			map[string]any{"dataset": "h", "levels": map[string]int{"Bogus": 1}, "k": 1}, 400},
+		{"level out of range", "/v1/disclosure",
+			map[string]any{"dataset": "h", "levels": map[string]int{"Zip": 9}, "k": 1}, 400},
+		{"unknown field", "/v1/disclosure", map[string]any{"dataset": "h", "k": 1, "bogus": true}, 400},
+		{"bad criterion", "/v1/check", map[string]any{"dataset": "h", "criterion": "magic"}, 400},
+		{"ck without c", "/v1/check", map[string]any{"dataset": "h", "criterion": "ck", "k": 1}, 400},
+		{"anonymize without dataset", "/v1/anonymize", map[string]any{"criterion": "ck", "c": 0.7, "k": 1}, 400},
+		{"anonymize bad method", "/v1/anonymize",
+			map[string]any{"dataset": "h", "c": 0.7, "k": 1, "method": "magic"}, 400},
+		{"anonymize bad utility", "/v1/anonymize",
+			map[string]any{"dataset": "h", "c": 0.7, "k": 1, "utility": "magic"}, 400},
+		{"estimate without target", "/v1/estimate", map[string]any{"dataset": "h"}, 400},
+		{"oversized inline groups", "/v1/disclosure",
+			map[string]any{"groups": [][]string{bigGroup(101)}, "k": 1}, 400},
+	}
+	for _, c := range cases {
+		if code := postJSON(t, ts.URL+c.path, c.body, &e); code != c.code {
+			t.Errorf("%s: code = %d, want %d (%s)", c.name, code, c.code, e.Error)
+		}
+	}
+
+	// Oversized bodies get 413, not a generic 400.
+	_, tsTiny := newTestServer(t, Config{MaxBodyBytes: 64})
+	if code := postJSON(t, tsTiny.URL+"/v1/disclosure",
+		map[string]any{"groups": [][]string{bigGroup(40)}, "k": 1}, &e); code != http.StatusRequestEntityTooLarge {
+		t.Errorf("oversized body = %d, want 413 (%s)", code, e.Error)
+	}
+
+	// Unknown job and cancel-unknown-job 404.
+	if code := getJSON(t, ts.URL+"/v1/jobs/job-999999", &e); code != http.StatusNotFound {
+		t.Errorf("unknown job = %d", code)
+	}
+	reqDel, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/job-999999", nil)
+	resp, err := http.DefaultClient.Do(reqDel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("cancel unknown job = %d", resp.StatusCode)
+	}
+}
+
+func bigGroup(n int) []string {
+	g := make([]string, n)
+	for i := range g {
+		g[i] = "v"
+	}
+	return g
+}
+
+// TestEstimateOffsets exercises the Monte-Carlo endpoint and the parser's
+// position-carrying 400 bodies.
+func TestEstimateOffsets(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	registerHospital(t, ts.URL, "hospital")
+
+	var est estimateResponse
+	req := map[string]any{
+		"dataset": "hospital",
+		"target":  "t[Ed]=lung-cancer",
+		"phi":     "t[Ed]=mumps -> t[Ed]=flu",
+		"samples": 20000,
+		"seed":    1,
+	}
+	if code := postJSON(t, ts.URL+"/v1/estimate", req, &est); code != http.StatusOK {
+		t.Fatalf("estimate = %d", code)
+	}
+	// Conditioning Ed away from mumps raises his lung-cancer posterior
+	// above the 2/5 prior (the paper's §1 story); Monte-Carlo gives it
+	// within a few σ.
+	if est.Prob <= 0.4 || est.Prob >= 0.7 {
+		t.Errorf("estimate = %v, want ≈ 1/2", est.Prob)
+	}
+
+	// A syntax error in phi yields a 400 whose body pinpoints the byte.
+	var e errorBody
+	bad := map[string]any{
+		"dataset": "hospital",
+		"target":  "t[Ed]=flu",
+		"phi":     "t[Ed]=mumps -> junk",
+	}
+	if code := postJSON(t, ts.URL+"/v1/estimate", bad, &e); code != http.StatusBadRequest {
+		t.Fatalf("bad phi = %d", code)
+	}
+	if e.Offset == nil || *e.Offset != 15 {
+		t.Errorf("error offset = %v, want 15 (start of \"junk\"); body: %+v", e.Offset, e)
+	}
+	badTarget := map[string]any{"dataset": "hospital", "target": "t[Ed]flu"}
+	if code := postJSON(t, ts.URL+"/v1/estimate", badTarget, &e); code != http.StatusBadRequest || e.Offset == nil {
+		t.Errorf("bad target: code %d, offset %v", code, e.Offset)
+	}
+
+	// Inline groups work too: persons are the 0-based global tuple ids,
+	// and Pr(t[0]=flu) in a {flu×2, lung-cancer×2, mumps} bucket is 2/5.
+	inline := map[string]any{
+		"groups":  [][]string{{"flu", "flu", "lung-cancer", "lung-cancer", "mumps"}},
+		"target":  "t[0]=flu",
+		"samples": 20000,
+		"seed":    1,
+	}
+	if code := postJSON(t, ts.URL+"/v1/estimate", inline, &est); code != http.StatusOK {
+		t.Fatalf("inline estimate = %d", code)
+	}
+	if est.Prob < 0.35 || est.Prob > 0.45 {
+		t.Errorf("inline estimate = %v, want ≈ 2/5", est.Prob)
+	}
+}
+
+// TestGateSheds saturates the global concurrency gate and expects 503.
+func TestGateSheds(t *testing.T) {
+	s, ts := newTestServer(t, Config{MaxConcurrent: 1, GateWait: time.Millisecond})
+	registerHospital(t, ts.URL, "h")
+
+	// Occupy the only slot from the outside.
+	s.gate <- struct{}{}
+	defer func() { <-s.gate }()
+
+	var e errorBody
+	code := postJSON(t, ts.URL+"/v1/disclosure", map[string]any{"dataset": "h", "k": 1}, &e)
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("saturated disclosure = %d (%s)", code, e.Error)
+	}
+	if !strings.Contains(e.Error, "saturated") {
+		t.Errorf("error %q does not mention saturation", e.Error)
+	}
+}
+
+// TestSearchWorkersConvention pins the library-wide worker convention on
+// the server config: values below 1 (the zero value included) mean one
+// lattice worker per CPU core, and explicit budgets pass through.
+func TestSearchWorkersConvention(t *testing.T) {
+	cases := []struct {
+		cfg  int
+		want int
+	}{
+		{0, runtime.GOMAXPROCS(0)},
+		{-1, runtime.GOMAXPROCS(0)},
+		{1, 1},
+		{3, 3},
+	}
+	for _, c := range cases {
+		s := New(Config{SearchWorkers: c.cfg})
+		if err := s.Register("h", dataload.Hospital()); err != nil {
+			t.Fatal(err)
+		}
+		ds, _ := s.registry.get("h")
+		if got := ds.problem.Workers(); got != c.want {
+			t.Errorf("SearchWorkers %d: problem runs %d workers, want %d", c.cfg, got, c.want)
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		if err := s.Shutdown(ctx); err != nil {
+			t.Error(err)
+		}
+		cancel()
+	}
+}
+
+func TestMetricsShape(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	registerHospital(t, ts.URL, "h")
+	postJSON(t, ts.URL+"/v1/disclosure", map[string]any{"dataset": "h", "k": 1}, nil)
+
+	metrics := getText(t, ts.URL+"/metrics")
+	for _, want := range []string{
+		`ckprivacyd_requests_total{route="POST /v1/datasets",code="201"} 1`,
+		`ckprivacyd_requests_total{route="POST /v1/disclosure",code="200"} 1`,
+		`ckprivacyd_request_seconds_count{route="POST /v1/disclosure"} 1`,
+		"ckprivacyd_engine_memo_entries",
+		`ckprivacyd_dataset_cache_entries{dataset="h"} 1`,
+		"ckprivacyd_datasets_registered 1",
+		"ckprivacyd_jobs_queue_depth 0",
+		"ckprivacyd_uptime_seconds",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("metrics missing %q:\n%s", want, metrics)
+		}
+	}
+}

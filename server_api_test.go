@@ -1,0 +1,49 @@
+package ckprivacy_test
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"ckprivacy"
+)
+
+// TestServerFacade exercises the public serving surface: NewServer,
+// Handler, and Shutdown — an inline-groups disclosure request end to end.
+func TestServerFacade(t *testing.T) {
+	s := ckprivacy.NewServer(ckprivacy.ServerConfig{MaxK: 8})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	body := `{"groups": [["flu","flu","lung-cancer","lung-cancer","mumps"],
+	                     ["flu","flu","breast-cancer","ovarian-cancer","heart-disease"]],
+	          "k": 1}`
+	resp, err := http.Post(ts.URL+"/v1/disclosure", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("disclosure = %d", resp.StatusCode)
+	}
+	var out struct {
+		Disclosure float64 `json:"disclosure"`
+		Buckets    int     `json:"buckets"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Buckets != 2 || out.Disclosure < 0.66 || out.Disclosure > 0.67 {
+		t.Errorf("disclosure = %+v, want 2 buckets at 2/3", out)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Errorf("shutdown: %v", err)
+	}
+}
