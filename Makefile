@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet fmt fmt-check test race bench bench-json examples serve
+.PHONY: all build vet fmt fmt-check test race bench bench-json examples serve lint
 
 all: build vet fmt-check test
 
@@ -28,6 +28,16 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+## lint mirrors the CI lint job exactly: pinned tool versions fetched on
+## demand by `go run` (no separate install step, no version drift between
+## local runs and CI).
+STATICCHECK_VERSION ?= 2025.1.1
+GOVULNCHECK_VERSION ?= v1.1.4
+
+lint:
+	$(GO) run honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION) ./...
+	$(GO) run golang.org/x/vuln/cmd/govulncheck@$(GOVULNCHECK_VERSION) ./...
 
 ## examples builds and smoke-runs every examples/* program (mirrors the CI
 ## examples job; sizes scaled down to stay fast).

@@ -102,8 +102,14 @@ func Bucketize(t *Table, hs Hierarchies, levels Levels) (*Bucketization, error) 
 
 // Worst-case disclosure (the paper's core contribution).
 type (
-	// Engine memoizes disclosure computations across calls.
+	// Engine memoizes disclosure computations across calls in a sharded,
+	// byte-bounded, evicting MINIMIZE1 memo.
 	Engine = core.Engine
+	// EngineConfig tunes an Engine's memo capacity and shard count.
+	EngineConfig = core.EngineConfig
+	// EngineCacheStats snapshots a memo's hits, misses, evictions and
+	// resident size.
+	EngineCacheStats = core.CacheStats
 	// DisclosureOptions tunes MaxDisclosure variants.
 	DisclosureOptions = core.Options
 	// Witness is an explicit worst-case knowledge formula.
@@ -120,8 +126,16 @@ type (
 // ConstWeight weights every sensitive value equally.
 func ConstWeight(w float64) WeightFunc { return core.ConstWeight(w) }
 
-// NewEngine returns an empty disclosure engine.
+// DefaultMemoMaxBytes is the default engine memo capacity (64 MiB).
+const DefaultMemoMaxBytes = core.DefaultMemoMaxBytes
+
+// NewEngine returns an empty disclosure engine with the default memo bound.
 func NewEngine() *Engine { return core.NewEngine() }
+
+// NewEngineWithConfig returns an empty disclosure engine with an explicit
+// memo byte bound and shard count (zero fields mean the defaults; a
+// negative MemoMaxBytes disables the bound).
+func NewEngineWithConfig(cfg EngineConfig) *Engine { return core.NewEngineWithConfig(cfg) }
 
 // MaxDisclosure computes the maximum disclosure of the bucketization with
 // respect to k basic implications of background knowledge (Definition 6),
@@ -237,6 +251,15 @@ func NewProblem(t *Table, hs Hierarchies, qi []string, opts ...ProblemOption) (*
 // SearchStats; ChainSearch's multi-section variant probes different chain
 // positions per round, so its Evaluated count varies with the budget.
 func WithWorkers(n int) ProblemOption { return anonymize.WithWorkers(n) }
+
+// WithMemoBytes bounds the problem-scoped disclosure engine's memo (see
+// EngineConfig.MemoMaxBytes); Problem.Engine returns that engine for wiring
+// into CKSafety criteria checked against the problem.
+func WithMemoBytes(n int64) ProblemOption { return anonymize.WithMemoBytes(n) }
+
+// WithEngine injects a fully configured (or shared) engine as the
+// problem-scoped engine, overriding WithMemoBytes.
+func WithEngine(e *Engine) ProblemOption { return anonymize.WithEngine(e) }
 
 // Utility metrics.
 type (

@@ -108,7 +108,7 @@ func cmdSafe(args []string) error {
 	if err != nil {
 		return err
 	}
-	crit := ckprivacy.CKSafety{C: *c, K: *k, Engine: ckprivacy.NewEngine()}
+	crit := p.CKSafety(*c, *k)
 
 	var metric ckprivacy.Metric
 	switch *metricName {

@@ -60,6 +60,7 @@ func run(args []string) error {
 		jobWorkers    = fs.Int("job-workers", 2, "concurrent background anonymization jobs")
 		jobQueue      = fs.Int("job-queue", 16, "bounded pending-job queue size")
 		searchWorkers = fs.Int("search-workers", 1, "lattice worker budget per search (<= 0 means one per CPU core)")
+		memoMaxMB     = fs.Int("memo-max-mb", 0, "byte bound, in MiB, of each disclosure-engine memo (0 means the 64 MiB default; negative disables the bound)")
 		preload       = fs.String("preload", "", "comma-separated built-in datasets to register at boot (adult, hospital)")
 		preloadN      = fs.Int("preload-n", 0, "synthetic row count for a preloaded adult dataset (0 means the paper's 45222)")
 		drainTimeout  = fs.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight jobs")
@@ -77,6 +78,7 @@ func run(args []string) error {
 		JobWorkers:    *jobWorkers,
 		JobQueueSize:  *jobQueue,
 		SearchWorkers: *searchWorkers,
+		MemoMaxBytes:  int64(*memoMaxMB) << 20,
 	})
 	for _, name := range strings.Split(*preload, ",") {
 		name = strings.TrimSpace(name)

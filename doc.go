@@ -35,13 +35,23 @@
 //	)
 //	d, _ := ckprivacy.MaxDisclosure(bz, 1) // 2/3
 //
+// The Engine behind MaxDisclosure memoizes MINIMIZE1 tables across calls
+// (the paper's §3.3.3 incremental-recomputation remark) in a sharded cache
+// keyed by a 64-bit fingerprint of (histogram, k), byte-bounded
+// (EngineConfig.MemoMaxBytes, default 64 MiB) with CLOCK second-chance
+// eviction and per-shard in-flight deduplication, so a long-lived engine
+// serving many datasets plateaus in memory while racing workers compute
+// each missing entry exactly once. Eviction only ever costs
+// recomputation: disclosure values are byte-identical at every capacity.
+//
 // The library also serves: NewServer builds the resident HTTP
 // disclosure-auditing service behind the cmd/ckprivacyd daemon — a dataset
 // registry (register a table + hierarchies once, reference by name),
 // synchronous disclosure and safety-verdict endpoints, asynchronous
 // lattice-search jobs on a bounded queue, and Prometheus-format metrics,
-// all sharing one warm engine memo and per-dataset bucketization caches
-// across requests.
+// all sharing warm, bounded engine memos (one for registered datasets,
+// one isolating inline client-chosen bucketizations) and per-dataset
+// bucketization caches across requests.
 //
 // The packages under internal/ hold the implementation: internal/core (the
 // disclosure DP), internal/bucket, internal/hierarchy, internal/lattice,

@@ -9,6 +9,7 @@ import (
 	"fmt"
 
 	"ckprivacy/internal/bucket"
+	"ckprivacy/internal/core"
 	"ckprivacy/internal/hierarchy"
 	"ckprivacy/internal/lattice"
 	"ckprivacy/internal/parallel"
@@ -25,10 +26,12 @@ type Problem struct {
 	// dimension order.
 	QI []string
 
-	space   lattice.Space
-	workers int
+	space     lattice.Space
+	workers   int
+	memoBytes int64
 
-	cache *bucketizeCache
+	cache  *bucketizeCache
+	engine *core.Engine
 }
 
 // Option configures a Problem at construction.
@@ -43,6 +46,20 @@ type Option func(*Problem)
 // probing).
 func WithWorkers(n int) Option {
 	return func(p *Problem) { p.workers = parallel.Workers(n) }
+}
+
+// WithMemoBytes bounds the problem-scoped disclosure engine's MINIMIZE1
+// memo (see core.EngineConfig.MemoMaxBytes): 0 means the core default,
+// negative disables the bound. The engine is what Engine returns; callers
+// wiring their own engines into criteria are unaffected.
+func WithMemoBytes(n int64) Option {
+	return func(p *Problem) { p.memoBytes = n }
+}
+
+// WithEngine injects a fully configured (or shared) disclosure engine as
+// the problem-scoped engine, overriding WithMemoBytes.
+func WithEngine(e *core.Engine) Option {
+	return func(p *Problem) { p.engine = e }
 }
 
 // NewProblem validates the inputs and precomputes the lattice shape.
@@ -81,7 +98,22 @@ func NewProblem(t *table.Table, hs hierarchy.Set, qi []string, opts ...Option) (
 	for _, opt := range opts {
 		opt(p)
 	}
+	if p.engine == nil {
+		p.engine = core.NewEngineWithConfig(core.EngineConfig{MemoMaxBytes: p.memoBytes})
+	}
 	return p, nil
+}
+
+// Engine returns the problem-scoped disclosure engine: a bounded,
+// concurrency-safe MINIMIZE1 memo sized by WithMemoBytes that callers
+// should wire into (c,k)-safety criteria checked against this problem, so
+// lattice searches share warm DP state without growing without bound.
+func (p *Problem) Engine() *core.Engine { return p.engine }
+
+// CKSafety builds the paper's (c,k)-safety criterion wired to the
+// problem-scoped bounded engine.
+func (p *Problem) CKSafety(c float64, k int) privacy.CKSafety {
+	return privacy.CKSafety{C: c, K: k, Engine: p.engine}
 }
 
 // Space returns the full-domain generalization lattice.

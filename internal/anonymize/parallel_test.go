@@ -162,3 +162,60 @@ func sameNodeOrder(a, b []lattice.Node) bool {
 	}
 	return true
 }
+
+// TestBoundedMemoSearchParity runs the parallel lattice search against
+// three problem-scoped engines — unbounded, default-bounded, and a tiny
+// cap that must evict mid-search — and asserts identical minimal nodes and
+// search stats. Eviction under a racing worker pool may cost recomputation
+// but can never change a verdict.
+func TestBoundedMemoSearchParity(t *testing.T) {
+	base := hospital(t)
+	// Few shards keep the tiny cap's per-shard budget above the per-entry
+	// overhead, so entries are actually cached and then actually evicted
+	// mid-search (asserted below) — a cap below one entry per shard would
+	// just skip caching and test nothing.
+	tiny := core.NewEngineWithConfig(core.EngineConfig{MemoMaxBytes: 1 << 10, Shards: 2})
+	engines := []*core.Engine{
+		core.NewEngineWithConfig(core.EngineConfig{MemoMaxBytes: -1}),
+		core.NewEngine(),
+		tiny,
+	}
+	var refNodes []lattice.Node
+	var refStats lattice.Stats
+	for i, eng := range engines {
+		p, err := NewProblem(base.Table, base.Hierarchies, base.QI,
+			WithWorkers(4), WithEngine(eng))
+		if err != nil {
+			t.Fatal(err)
+		}
+		crit := p.CKSafety(0.7, 2)
+		nodes, stats, err := p.MinimalSafe(crit)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			refNodes, refStats = nodes, stats
+			continue
+		}
+		if !sameNodeOrder(refNodes, nodes) || refStats != stats {
+			t.Errorf("engine %d: nodes/stats diverged from unbounded: %v %+v vs %v %+v",
+				i, nodes, stats, refNodes, refStats)
+		}
+	}
+	if st := tiny.Stats(); st.Evictions == 0 {
+		t.Errorf("tiny engine never evicted during the parallel search: %+v", st)
+	}
+	// The problem-scoped engine is the one the criterion used: it must
+	// have seen the search's lookups.
+	p, err := NewProblem(base.Table, base.Hierarchies, base.QI)
+	if err != nil {
+		t.Fatal(err)
+	}
+	crit := p.CKSafety(0.7, 2)
+	if _, _, err := p.MinimalSafe(crit); err != nil {
+		t.Fatal(err)
+	}
+	if st := p.Engine().Stats(); st.Hits+st.Misses == 0 {
+		t.Error("Problem.Engine saw no lookups; CKSafety was not wired to it")
+	}
+}

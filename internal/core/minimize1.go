@@ -16,12 +16,10 @@
 // O(|B|·k³) as in §3.3 of the paper.
 package core
 
-import "math"
-
-// m1Key indexes MINIMIZE1's dynamic-programming states: person index i,
-// upper bound cap on this person's atom count (the paper's k̂ᵢ, enforcing
-// descending compositions), and rem atoms still to place (the paper's k̂).
-type m1Key struct{ i, cap, rem int }
+import (
+	"math"
+	"sync"
+)
 
 // m1Entry is a memoized MINIMIZE1 result for one histogram and atom count.
 type m1Entry struct {
@@ -32,6 +30,36 @@ type m1Entry struct {
 	// when atoms are wasted as duplicates (more persons than the bucket
 	// holds, or more values than the bucket distinguishes).
 	comp []int
+}
+
+// m1Scratch holds m1Compute's reusable DP tables. The state space is
+// (i, cap, rem) with every coordinate bounded by j (each of the first i
+// persons consumed at least one atom, so i < j whenever rem > 0), giving a
+// dense j·(j+1)·(j+1) layout. choice doubles as the visited marker: a
+// computed state always records a best per-person count of at least 1.
+type m1Scratch struct {
+	val    []float64
+	choice []int32
+	prefix []int
+}
+
+var m1Pool = sync.Pool{New: func() any { return new(m1Scratch) }}
+
+// grow resizes the scratch for atom count j and histogram length hl,
+// zeroing exactly the region the DP will index.
+func (sc *m1Scratch) grow(j, hl int) {
+	states := j * (j + 1) * (j + 1)
+	if cap(sc.val) < states {
+		sc.val = make([]float64, states)
+		sc.choice = make([]int32, states)
+	}
+	sc.val = sc.val[:states]
+	sc.choice = sc.choice[:states]
+	clear(sc.choice)
+	if cap(sc.prefix) < hl+1 {
+		sc.prefix = make([]int, hl+1)
+	}
+	sc.prefix = sc.prefix[:hl+1]
 }
 
 // m1Compute evaluates MINIMIZE1 for a histogram (counts in decreasing
@@ -46,16 +74,23 @@ type m1Entry struct {
 // and the DP minimizes over compositions. Two guards absent from the
 // paper's pseudocode: the numerator clamps at zero (a person cannot avoid
 // more mass than remains), and once all n persons carry an atom the
-// remaining atoms are duplicates contributing factor 1.
+// remaining atoms are duplicates contributing factor 1. The DP tables come
+// from a pool, so the steady-state disclosure path allocates only the
+// returned composition.
 func m1Compute(hist []int, j int) m1Entry {
+	if j == 0 {
+		return m1Entry{val: 1}
+	}
+	sc := m1Pool.Get().(*m1Scratch)
+	defer m1Pool.Put(sc)
+	sc.grow(j, len(hist))
+
 	n := 0
-	prefix := make([]int, len(hist)+1)
+	prefix := sc.prefix
+	prefix[0] = 0
 	for i, c := range hist {
 		n += c
 		prefix[i+1] = prefix[i] + c
-	}
-	if j == 0 {
-		return m1Entry{val: 1}
 	}
 
 	factor := func(i, ki int) float64 {
@@ -70,17 +105,20 @@ func m1Compute(hist []int, j int) m1Entry {
 		return float64(num) / float64(n-i)
 	}
 
-	memo := make(map[m1Key]float64)
-	choice := make(map[m1Key]int)
+	// idx flattens (i, cap, rem); i < j and cap, rem <= j by construction.
+	idx := func(i, cap, rem int) int {
+		return (i*(j+1)+cap)*(j+1) + rem
+	}
+
 	var rec func(i, cap, rem int) float64
 	rec = func(i, cap, rem int) float64 {
 		if rem == 0 || i >= n {
 			// rem > 0 with all persons used: duplicates, factor 1.
 			return 1
 		}
-		key := m1Key{i, cap, rem}
-		if v, ok := memo[key]; ok {
-			return v
+		at := idx(i, cap, rem)
+		if sc.choice[at] != 0 {
+			return sc.val[at]
 		}
 		best := math.Inf(1)
 		bestKi := 1
@@ -94,15 +132,15 @@ func m1Compute(hist []int, j int) m1Entry {
 				best, bestKi = p, ki
 			}
 		}
-		memo[key] = best
-		choice[key] = bestKi
+		sc.val[at] = best
+		sc.choice[at] = int32(bestKi)
 		return best
 	}
 	val := rec(0, j, j)
 
 	var comp []int
 	for i, cap, rem := 0, j, j; rem > 0 && i < n; {
-		ki := choice[m1Key{i, cap, rem}]
+		ki := int(sc.choice[idx(i, cap, rem)])
 		comp = append(comp, ki)
 		i, cap, rem = i+1, ki, rem-ki
 	}

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"ckprivacy/internal/bucket"
 )
@@ -26,24 +27,60 @@ type m2choice struct {
 	valid     bool
 }
 
+// m2Scratch holds MINIMIZE2's DP tables in flat pooled slices: states
+// (i, h, placed) with i <= nb and h <= k. The value table is NaN-marked for
+// "not yet computed", exactly as the per-call allocation was. Callers that
+// walk the choice table (witness reconstruction) keep the scratch until
+// they are done, then release it.
+type m2Scratch struct {
+	val    []float64
+	choice []m2choice
+	k      int
+}
+
+var m2Pool = sync.Pool{New: func() any { return new(m2Scratch) }}
+
+// grow resizes and re-marks the tables for nb buckets and k atoms.
+func (sc *m2Scratch) grow(nb, k int) {
+	states := (nb + 1) * (k + 1) * 2
+	if cap(sc.val) < states {
+		sc.val = make([]float64, states)
+		sc.choice = make([]m2choice, states)
+	}
+	sc.val = sc.val[:states]
+	sc.choice = sc.choice[:states]
+	for i := range sc.val {
+		sc.val[i] = math.NaN()
+	}
+	clear(sc.choice)
+	sc.k = k
+}
+
+// idx flattens (i, h, pi).
+func (sc *m2Scratch) idx(i, h, pi int) int {
+	return (i*(sc.k+1)+h)*2 + pi
+}
+
+// choiceAt returns the recorded choice for state (i, h, pi).
+func (sc *m2Scratch) choiceAt(i, h, pi int) m2choice {
+	return sc.choice[sc.idx(i, h, pi)]
+}
+
+// release returns the scratch to the pool.
+func (sc *m2Scratch) release() { m2Pool.Put(sc) }
+
 // minimize2 minimizes Formula (1) over all placements of the k antecedent
 // atoms and the consequent atom A across buckets, returning the minimum and
-// the DP choice tables for witness reconstruction.
+// the DP scratch whose choice tables drive witness reconstruction. The
+// caller must release() the scratch when done with it.
 //
 // Against the paper's Algorithm 2 pseudocode, two typos are corrected (see
 // DESIGN.md §4): the base case returns 1 on success (not the initialized
 // rmin = ∞), and the initial "A already placed" flag is false.
-func (e *Engine) minimize2(views []bucketView, k int, opt Options) (float64, [][][2]m2choice) {
+func (e *Engine) minimize2(views []bucketView, k int, opt Options) (float64, *m2Scratch) {
 	nb := len(views)
-	val := make([][][2]float64, nb+1)
-	choice := make([][][2]m2choice, nb+1)
-	for i := range val {
-		val[i] = make([][2]float64, k+1)
-		choice[i] = make([][2]m2choice, k+1)
-		for h := range val[i] {
-			val[i][h] = [2]float64{math.NaN(), math.NaN()}
-		}
-	}
+	sc := m2Pool.Get().(*m2Scratch)
+	sc.grow(nb, k)
 	var rec func(i, h int, placed bool) float64
 	rec = func(i, h int, placed bool) float64 {
 		pi := 0
@@ -58,7 +95,8 @@ func (e *Engine) minimize2(views []bucketView, k int, opt Options) (float64, [][
 			}
 			return math.Inf(1)
 		}
-		if v := val[i][h][pi]; !math.IsNaN(v) {
+		at := sc.idx(i, h, pi)
+		if v := sc.val[at]; !math.IsNaN(v) {
 			return v
 		}
 		v := views[i]
@@ -66,7 +104,7 @@ func (e *Engine) minimize2(views []bucketView, k int, opt Options) (float64, [][
 		best := math.Inf(1)
 		var bestChoice m2choice
 		for cnt := 0; cnt <= h; cnt++ {
-			u := e.m1(v.sig, v.hist, cnt).val
+			u := e.m1(v.hist, cnt).val
 			// Option 1: A is not in this bucket.
 			if cand := u * rec(i+1, h-cnt, placed); cand < best {
 				best = cand
@@ -74,18 +112,18 @@ func (e *Engine) minimize2(views []bucketView, k int, opt Options) (float64, [][
 			}
 			// Option 2: A is in this bucket (with cnt local antecedents).
 			if !placed && (!opt.ForbidSameBucketAntecedent || cnt == 0) {
-				w := e.m1(v.sig, v.hist, cnt+1).val * ratio
+				w := e.m1(v.hist, cnt+1).val * ratio
 				if cand := w * rec(i+1, h-cnt, true); cand < best {
 					best = cand
 					bestChoice = m2choice{cnt: cnt, placeHere: true, valid: true}
 				}
 			}
 		}
-		val[i][h][pi] = best
-		choice[i][h][pi] = bestChoice
+		sc.val[at] = best
+		sc.choice[at] = bestChoice
 		return best
 	}
-	return rec(0, k, false), choice
+	return rec(0, k, false), sc
 }
 
 // MaxDisclosure computes the maximum disclosure of the bucketization with
@@ -99,7 +137,8 @@ func (e *Engine) MaxDisclosureOpt(bz *bucket.Bucketization, k int, opt Options) 
 	if err := checkArgs(bz, k); err != nil {
 		return 0, err
 	}
-	rmin, _ := e.minimize2(makeViews(bz), k, opt)
+	rmin, sc := e.minimize2(makeViews(bz), k, opt)
+	sc.release()
 	return disclosureFromRatio(rmin), nil
 }
 
@@ -145,7 +184,8 @@ func (e *Engine) Series(bz *bucket.Bucketization, maxK int) ([]float64, error) {
 	views := makeViews(bz)
 	out := make([]float64, maxK+1)
 	for k := 0; k <= maxK; k++ {
-		rmin, _ := e.minimize2(views, k, Options{})
+		rmin, sc := e.minimize2(views, k, Options{})
+		sc.release()
 		out[k] = disclosureFromRatio(rmin)
 	}
 	return out, nil

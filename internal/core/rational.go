@@ -13,6 +13,11 @@ import (
 // the true maximum (see IsCKSafe); the exact variants decide such
 // boundaries correctly at a constant-factor cost in time and allocation.
 
+// m1Key indexes the exact DP's states: person index i, upper bound cap on
+// this person's atom count, and rem atoms still to place. (The float path
+// uses flat pooled tables; the exact path keeps the simple map.)
+type m1Key struct{ i, cap, rem int }
+
 // ratInf is the +∞ sentinel: a nil *big.Rat.
 func ratLess(a, b *big.Rat) bool {
 	if b == nil {
@@ -90,13 +95,21 @@ func (e *Engine) ExactMaxDisclosureOpt(bz *bucket.Bucketization, k int, opt Opti
 	views := makeViews(bz)
 	one := big.NewRat(1, 1)
 
-	// Per-call MINIMIZE1 memo keyed by histogram signature.
+	// Per-call MINIMIZE1 memo keyed by histogram signature. This is a cold
+	// path (exact arithmetic dominates), so building the signature strings
+	// here is harmless — the shared float engine's memo is what dropped
+	// them.
+	sigs := make([]string, len(views))
+	for i := range views {
+		sigs[i] = views[i].b.Signature()
+	}
 	m1memo := make(map[string][]*big.Rat)
 	m1 := func(v *bucketView, j int) *big.Rat {
-		tab, ok := m1memo[v.sig]
+		sig := sigs[v.index]
+		tab, ok := m1memo[sig]
 		if !ok {
 			tab = make([]*big.Rat, k+2)
-			m1memo[v.sig] = tab
+			m1memo[sig] = tab
 		}
 		if tab[j] == nil {
 			tab[j] = m1ComputeRat(v.hist, j)

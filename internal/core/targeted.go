@@ -172,7 +172,7 @@ func (e *Engine) buildRest(views []bucketView, k int) *restTables {
 		for h := 0; h <= k; h++ {
 			best := math.Inf(1)
 			for c := 0; c <= h; c++ {
-				if p := fwd[i][h-c] * e.m1(views[i].sig, views[i].hist, c).val; p < best {
+				if p := fwd[i][h-c] * e.m1(views[i].hist, c).val; p < best {
 					best = p
 				}
 			}
@@ -183,7 +183,7 @@ func (e *Engine) buildRest(views []bucketView, k int) *restTables {
 		for h := 0; h <= k; h++ {
 			best := math.Inf(1)
 			for c := 0; c <= h; c++ {
-				if p := bwd[i+1][h-c] * e.m1(views[i].sig, views[i].hist, c).val; p < best {
+				if p := bwd[i+1][h-c] * e.m1(views[i].hist, c).val; p < best {
 					best = p
 				}
 			}

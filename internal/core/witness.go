@@ -45,7 +45,8 @@ func (e *Engine) Witness(bz *bucket.Bucketization, k int, opt Options, name func
 		name = strconv.Itoa
 	}
 	views := makeViews(bz)
-	rmin, choice := e.minimize2(views, k, opt)
+	rmin, sc := e.minimize2(views, k, opt)
+	defer sc.release()
 
 	// Walk the DP choices to recover per-bucket antecedent counts and the
 	// placement of A.
@@ -61,7 +62,7 @@ func (e *Engine) Witness(bz *bucket.Bucketization, k int, opt Options, name func
 		if placed {
 			pi = 1
 		}
-		ch := choice[i][h][pi]
+		ch := sc.choiceAt(i, h, pi)
 		if !ch.valid {
 			return Witness{}, fmt.Errorf("core: no witness: disclosure is unattainable under the given options")
 		}
@@ -84,7 +85,7 @@ func (e *Engine) Witness(bz *bucket.Bucketization, k int, opt Options, name func
 		if pl.hasA {
 			atoms++
 		}
-		comp := e.m1(v.sig, v.hist, atoms).comp
+		comp := e.m1(v.hist, atoms).comp
 		for person, kj := range comp {
 			if person >= len(v.b.Tuples) {
 				break

@@ -6,6 +6,7 @@ import (
 	"strings"
 	"testing"
 
+	"ckprivacy/internal/core"
 	"ckprivacy/internal/dataset/adult"
 	"ckprivacy/internal/logic"
 	"ckprivacy/internal/table"
@@ -300,5 +301,50 @@ func TestHospitalRendering(t *testing.T) {
 	}
 	if buf.String() != buf2.String() {
 		t.Error("figure 3 not deterministic for fixed seed")
+	}
+}
+
+// TestFig6BoundedMemoParity is the sweep half of the bounded-memo
+// acceptance criterion: on the Figure 6 workload the default-capacity
+// engine must never evict, so its hit rate stays within 1% of an unbounded
+// engine's and every disclosure value is byte-identical.
+func TestFig6BoundedMemoParity(t *testing.T) {
+	tab := smallAdult(t)
+	ks := []int{1, 3, 5}
+
+	unbounded := core.NewEngineWithConfig(core.EngineConfig{MemoMaxBytes: -1})
+	bounded := core.NewEngine() // default cap
+	ref, err := RunFig6Config(tab, Fig6Config{Ks: ks, Engine: unbounded})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := RunFig6Config(tab, Fig6Config{Ks: ks, Engine: bounded})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if len(got.Points) != len(ref.Points) {
+		t.Fatalf("point counts differ: %d vs %d", len(got.Points), len(ref.Points))
+	}
+	for i := range got.Points {
+		g, r := got.Points[i], ref.Points[i]
+		if g.Node.Key() != r.Node.Key() {
+			t.Fatalf("point %d: node %v vs %v", i, g.Node, r.Node)
+		}
+		for _, k := range ks {
+			if math.Float64bits(g.Disclosure[k]) != math.Float64bits(r.Disclosure[k]) {
+				t.Errorf("node %v k=%d: bounded %v, unbounded %v",
+					g.Node, k, g.Disclosure[k], r.Disclosure[k])
+			}
+		}
+	}
+
+	bs, us := bounded.Stats(), unbounded.Stats()
+	if bs.Evictions != 0 {
+		t.Errorf("default-capacity engine evicted %d entries on the fig6 sweep", bs.Evictions)
+	}
+	if diff := math.Abs(bs.HitRate() - us.HitRate()); diff > 0.01 {
+		t.Errorf("hit rate drifted: bounded %.4f vs unbounded %.4f (|Δ| = %.4f > 0.01)",
+			bs.HitRate(), us.HitRate(), diff)
 	}
 }

@@ -42,6 +42,10 @@ type Fig6Config struct {
 	// count — nodes are gathered by lattice position before the final
 	// entropy sort.
 	Workers int
+	// Engine, when non-nil, supplies the MINIMIZE1 memo the sweep shares
+	// across nodes — letting callers bound its bytes (core.EngineConfig) or
+	// inspect hit rates afterwards. Nil uses a fresh default-bounded engine.
+	Engine *core.Engine
 }
 
 // Fig6Result holds the full sweep over all 72 generalizations of the Adult
@@ -76,7 +80,10 @@ func RunFig6Config(tab *table.Table, cfg Fig6Config) (*Fig6Result, error) {
 	if err != nil {
 		return nil, fmt.Errorf("experiments: fig6: %w", err)
 	}
-	engine := core.NewEngine()
+	engine := cfg.Engine
+	if engine == nil {
+		engine = core.NewEngine()
+	}
 	res := &Fig6Result{Ks: append([]int(nil), ks...)}
 	// Sweep the 72 generalizations on all workers: every node's bucketize +
 	// max-disclosure chain is independent (the engine's MINIMIZE1 memo and

@@ -104,3 +104,60 @@ func TestParseOffsetWithinBounds(t *testing.T) {
 		}
 	}
 }
+
+// TestParseOffsetsMultiByteUTF8 pins the byte offsets (not rune counts)
+// reported on inputs containing multi-byte UTF-8 — person and value
+// strings are arbitrary text, so clients slicing their input at Offset
+// must land on a byte boundary the parser actually meant.
+func TestParseOffsetsMultiByteUTF8(t *testing.T) {
+	atomCases := []struct {
+		in     string
+		offset int
+	}{
+		// "Ω" is 2 bytes; the junk atom starts after 2 ASCII spaces.
+		{"  Ωjunk", 2},
+		// U+00A0 (NBSP) is 2 bytes of leading unicode whitespace.
+		{" junk", 2},
+		// Missing "=": offset must count Ω as 2 bytes, landing on 'f'.
+		{"t[Ωed]flu", 7},
+		// Empty value after a person with a 2-byte "ü": end of token.
+		{"t[München]=", 12},
+	}
+	for _, c := range atomCases {
+		_, err := ParseAtom(c.in)
+		if got := offsetOf(t, err); got != c.offset {
+			t.Errorf("ParseAtom(%q) offset = %d, want %d (err: %v)", c.in, got, c.offset, err)
+		}
+	}
+
+	// Bad consequent after an antecedent holding "é" (2 bytes): the offset
+	// points at the 'z' of "zut", byte 20.
+	_, err := ParseImplication("t[André]=grippe -> zut")
+	if got := offsetOf(t, err); got != 20 {
+		t.Errorf("implication offset = %d, want 20 (err: %v)", got, err)
+	}
+
+	// Error in the second conjunct after a first conjunct full of
+	// multi-byte text ("Ω" and Cyrillic "флу"): global byte offset 24.
+	in := "t[Ω]=флу -> t[B]=y; junk"
+	_, err = ParseConjunction(in)
+	if got := offsetOf(t, err); got != 24 {
+		t.Errorf("ParseConjunction(%q) offset = %d, want 24 (err: %v)", in, got, err)
+	} else if in[got] != 'j' {
+		t.Errorf("offset %d points at byte %q, want 'j'", got, in[got])
+	}
+
+	// Property: offsets on arbitrary multi-byte garbage stay in bounds.
+	for _, in := range []string{"Ω", "  日本語", "t[日本]=語 ->", "-> ", "t[é]=x -> t[ü]"} {
+		if _, err := ParseConjunction(in); err != nil {
+			var se *SyntaxError
+			if !errors.As(err, &se) {
+				t.Errorf("ParseConjunction(%q): %T is not a SyntaxError", in, err)
+				continue
+			}
+			if se.Offset < 0 || se.Offset > len(in) {
+				t.Errorf("ParseConjunction(%q) offset %d outside [0, %d]", in, se.Offset, len(in))
+			}
+		}
+	}
+}

@@ -32,10 +32,13 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 
 // errorBody is the uniform error shape. Offset is present when the error
 // is a logic.SyntaxError, pointing clients at the offending byte of their
-// formula string.
+// formula string. Accepted/Samples are present on 422 estimate responses
+// whose rejection sampling accepted zero worlds.
 type errorBody struct {
-	Error  string `json:"error"`
-	Offset *int   `json:"offset,omitempty"`
+	Error    string `json:"error"`
+	Offset   *int   `json:"offset,omitempty"`
+	Accepted *int   `json:"accepted,omitempty"`
+	Samples  *int   `json:"samples,omitempty"`
 }
 
 // writeError renders err with the given status code.
@@ -171,7 +174,7 @@ func (s *Server) handleRegisterDataset(w http.ResponseWriter, r *http.Request) {
 			fmt.Errorf("dataset has %d rows, above the %d-row limit", b.Table.Len(), s.cfg.MaxRows))
 		return
 	}
-	ds, err := s.registry.add(req.Name, b, s.cfg.SearchWorkers)
+	ds, err := s.registry.add(req.Name, b, s.cfg.SearchWorkers, s.cfg.MemoMaxBytes)
 	if err != nil {
 		code := http.StatusBadRequest
 		if errors.Is(err, errAlreadyRegistered) {
@@ -342,12 +345,13 @@ func (s *Server) handleDisclosure(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer release()
-	// The process-wide memo only warms from registered datasets (whose
-	// histogram space is bounded by their lattices); inline groups are
-	// client-chosen and would grow it without bound in a resident daemon.
+	// Registered datasets warm the process-wide memo (their histogram
+	// space is bounded by their lattices); inline groups are client-chosen,
+	// so they go through the separate bounded inline engine: warm across
+	// requests, capped in bytes, and unable to evict dataset state.
 	eng := s.engine
 	if req.Dataset == "" {
-		eng = core.NewEngine()
+		eng = s.inline
 	}
 	begin := time.Now()
 	bz, ds, err := s.resolve(req.bucketizationSource)
@@ -415,8 +419,10 @@ type criterionSpec struct {
 }
 
 // buildCriterion validates the spec against the server's limits and wires
-// eng into (c,k)-safety checks — the shared warm engine for registered
-// datasets, a private one for client-chosen inline groups.
+// eng into (c,k)-safety checks — the shared warm engine for synchronous
+// checks on registered datasets, the bounded inline engine for
+// client-chosen inline groups, and the dataset's problem-scoped engine for
+// anonymize jobs. All three are byte-bounded.
 func (s *Server) buildCriterion(spec criterionSpec, eng *core.Engine) (privacy.Criterion, error) {
 	name := spec.Criterion
 	if name == "" {
@@ -486,7 +492,7 @@ func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
 	}
 	eng := s.engine
 	if req.Dataset == "" {
-		eng = core.NewEngine() // see handleDisclosure: no memo pollution
+		eng = s.inline // see handleDisclosure: bounded, isolated warm memo
 	}
 	crit, err := s.buildCriterion(req.criterionSpec, eng)
 	if err != nil {
@@ -620,6 +626,20 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 	}
 	est, err := in.EstimateCondProbParallel(target, phi, samples, s.cfg.SearchWorkers, req.Seed)
 	if err != nil {
+		// Zero accepted worlds is not a malformed request: the formula
+		// parsed and the sampling ran, but φ is either inconsistent with
+		// the bucketization or too rare for the budget. 422 with the
+		// sample counts lets clients tell those apart (retry with a larger
+		// budget vs. fix the formula) instead of a bare 400.
+		var zero *worlds.ZeroAcceptanceError
+		if errors.As(err, &zero) {
+			writeJSON(w, http.StatusUnprocessableEntity, errorBody{
+				Error:    err.Error(),
+				Accepted: &zero.Accepted,
+				Samples:  &zero.Samples,
+			})
+			return
+		}
 		writeHTTPError(w, err)
 		return
 	}
@@ -669,7 +689,12 @@ func (s *Server) handleAnonymize(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, fmt.Errorf("dataset %q not registered", req.Dataset))
 		return
 	}
-	crit, err := s.buildCriterion(req.criterionSpec, s.engine)
+	// Lattice-search jobs are the heaviest memo users; they run on the
+	// dataset's problem-scoped bounded engine (built with the server's
+	// MemoMaxBytes), co-located with its bucketization cache, so repeated
+	// jobs on a hot dataset stay warm without evicting other datasets'
+	// entries from the shared engine.
+	crit, err := s.buildCriterion(req.criterionSpec, ds.problem.Engine())
 	if err != nil {
 		writeHTTPError(w, err)
 		return

@@ -117,9 +117,12 @@ func (m *metrics) writeTo(w io.Writer, s *Server) {
 	}
 	m.mu.Unlock()
 
-	// Live gauges read outside the metrics lock: engine memo, per-dataset
-	// bucketization caches, queue depth.
+	// Live gauges read outside the metrics lock: engine memos, per-dataset
+	// bucketization caches, queue depth. Engine stats are per-shard atomic
+	// reads — a scrape never takes a memo shard lock, so it cannot stall
+	// DP workers mid-request.
 	es := s.engine.Stats()
+	is := s.inline.Stats()
 	fmt.Fprintln(w, "# HELP ckprivacyd_engine_memo_hits_total Disclosure-engine MINIMIZE1 memo hits.")
 	fmt.Fprintln(w, "# TYPE ckprivacyd_engine_memo_hits_total counter")
 	fmt.Fprintf(w, "ckprivacyd_engine_memo_hits_total %d\n", es.Hits)
@@ -128,7 +131,15 @@ func (m *metrics) writeTo(w io.Writer, s *Server) {
 	fmt.Fprintf(w, "ckprivacyd_engine_memo_misses_total %d\n", es.Misses)
 	fmt.Fprintln(w, "# HELP ckprivacyd_engine_memo_entries Distinct memoized (histogram, k) entries.")
 	fmt.Fprintln(w, "# TYPE ckprivacyd_engine_memo_entries gauge")
-	fmt.Fprintf(w, "ckprivacyd_engine_memo_entries %d\n", s.engine.CacheSize())
+	fmt.Fprintf(w, "ckprivacyd_engine_memo_entries %d\n", es.Entries)
+	fmt.Fprintln(w, "# HELP ckprivacyd_engine_memo_bytes Accounted resident bytes of the engine memo, by engine (shared = registered datasets, inline = client-chosen groups).")
+	fmt.Fprintln(w, "# TYPE ckprivacyd_engine_memo_bytes gauge")
+	fmt.Fprintf(w, "ckprivacyd_engine_memo_bytes{engine=\"shared\"} %d\n", es.Bytes)
+	fmt.Fprintf(w, "ckprivacyd_engine_memo_bytes{engine=\"inline\"} %d\n", is.Bytes)
+	fmt.Fprintln(w, "# HELP ckprivacyd_engine_memo_evictions_total Memo entries dropped by the CLOCK eviction policy, by engine.")
+	fmt.Fprintln(w, "# TYPE ckprivacyd_engine_memo_evictions_total counter")
+	fmt.Fprintf(w, "ckprivacyd_engine_memo_evictions_total{engine=\"shared\"} %d\n", es.Evictions)
+	fmt.Fprintf(w, "ckprivacyd_engine_memo_evictions_total{engine=\"inline\"} %d\n", is.Evictions)
 
 	fmt.Fprintln(w, "# HELP ckprivacyd_dataset_cache_hits_total Bucketization-cache hits by dataset.")
 	fmt.Fprintln(w, "# TYPE ckprivacyd_dataset_cache_hits_total counter")
@@ -148,6 +159,11 @@ func (m *metrics) writeTo(w io.Writer, s *Server) {
 	for _, info := range infos {
 		cs := info.ds.problem.CacheStats()
 		fmt.Fprintf(w, "ckprivacyd_dataset_cache_entries{dataset=%q} %d\n", info.name, cs.Entries)
+	}
+	fmt.Fprintln(w, "# HELP ckprivacyd_dataset_memo_bytes Accounted bytes of each dataset's problem-scoped engine memo (warmed by anonymize jobs).")
+	fmt.Fprintln(w, "# TYPE ckprivacyd_dataset_memo_bytes gauge")
+	for _, info := range infos {
+		fmt.Fprintf(w, "ckprivacyd_dataset_memo_bytes{dataset=%q} %d\n", info.name, info.ds.problem.Engine().Stats().Bytes)
 	}
 
 	fmt.Fprintln(w, "# HELP ckprivacyd_datasets_registered Registered datasets.")

@@ -39,11 +39,11 @@ func newRegistry(max int) *registry {
 var nameRE = regexp.MustCompile(`^[a-zA-Z0-9][a-zA-Z0-9._-]{0,63}$`)
 
 // add registers a bundle under name, building its long-lived Problem with
-// the given lattice worker budget. Duplicate names and full registries are
-// errors, rejected cheaply before the Problem (lattice space, caches) is
-// built; the check repeats at insertion in case a racing registration of
-// the same name won in between.
-func (r *registry) add(name string, b *dataload.Bundle, searchWorkers int) (*dataset, error) {
+// the given lattice worker budget and memo bound. Duplicate names and full
+// registries are errors, rejected cheaply before the Problem (lattice
+// space, caches) is built; the check repeats at insertion in case a racing
+// registration of the same name won in between.
+func (r *registry) add(name string, b *dataload.Bundle, searchWorkers int, memoMaxBytes int64) (*dataset, error) {
 	if !nameRE.MatchString(name) {
 		return nil, fmt.Errorf("invalid dataset name %q (want [a-zA-Z0-9._-], max 64 chars)", name)
 	}
@@ -53,7 +53,8 @@ func (r *registry) add(name string, b *dataload.Bundle, searchWorkers int) (*dat
 	if err != nil {
 		return nil, err
 	}
-	p, err := anonymize.NewProblem(b.Table, b.Hierarchies, b.QI, anonymize.WithWorkers(searchWorkers))
+	p, err := anonymize.NewProblem(b.Table, b.Hierarchies, b.QI,
+		anonymize.WithWorkers(searchWorkers), anonymize.WithMemoBytes(memoMaxBytes))
 	if err != nil {
 		return nil, err
 	}

@@ -60,6 +60,15 @@ type Config struct {
 	// the zero value — mean one worker per CPU core, matching the
 	// library-wide convention.
 	SearchWorkers int
+	// MemoMaxBytes bounds every disclosure-engine memo the daemon runs:
+	// the shared engine for synchronous checks on registered datasets, the
+	// engine serving inline client-chosen bucketizations, and each
+	// registered dataset's problem-scoped engine (which drives its
+	// anonymize jobs). Worst-case resident memo memory is therefore
+	// (2 + MaxDatasets) × MemoMaxBytes — every term individually capped —
+	// instead of growing with every distinct histogram ever seen. 0 means
+	// core.DefaultMemoMaxBytes; negative disables the bound.
+	MemoMaxBytes int64
 }
 
 // withDefaults resolves zero fields to their documented defaults.
@@ -96,6 +105,8 @@ func (c Config) withDefaults() Config {
 	}
 	// SearchWorkers is passed through: anonymize.WithWorkers and
 	// parallel.Workers already treat values below 1 as one per CPU core.
+	// MemoMaxBytes is passed through: core.NewEngineWithConfig resolves 0
+	// to its default and treats negatives as unbounded.
 	return c
 }
 
@@ -104,6 +115,7 @@ func (c Config) withDefaults() Config {
 type Server struct {
 	cfg      Config
 	engine   *core.Engine
+	inline   *core.Engine
 	registry *registry
 	jobs     *jobManager
 	metrics  *metrics
@@ -116,8 +128,13 @@ type Server struct {
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:      cfg,
-		engine:   core.NewEngine(),
+		cfg:    cfg,
+		engine: core.NewEngineWithConfig(core.EngineConfig{MemoMaxBytes: cfg.MemoMaxBytes}),
+		// Inline (client-chosen) bucketizations get their own bounded memo:
+		// they still warm across requests, but hostile or high-cardinality
+		// inline traffic can neither grow resident memory without limit nor
+		// evict the registered datasets' warm entries.
+		inline:   core.NewEngineWithConfig(core.EngineConfig{MemoMaxBytes: cfg.MemoMaxBytes}),
 		registry: newRegistry(cfg.MaxDatasets),
 		metrics:  newMetrics(),
 		gate:     make(chan struct{}, cfg.MaxConcurrent),
@@ -133,11 +150,15 @@ func New(cfg Config) *Server {
 // embedding callers).
 func (s *Server) Engine() *core.Engine { return s.engine }
 
+// InlineEngine exposes the bounded engine serving inline (client-chosen)
+// bucketizations (for tests and embedding callers).
+func (s *Server) InlineEngine() *core.Engine { return s.inline }
+
 // Register adds a bundle to the dataset registry programmatically — the
 // daemon's -preload path and embedding callers use this; HTTP clients use
 // POST /v1/datasets.
 func (s *Server) Register(name string, b *dataload.Bundle) error {
-	_, err := s.registry.add(name, b, s.cfg.SearchWorkers)
+	_, err := s.registry.add(name, b, s.cfg.SearchWorkers, s.cfg.MemoMaxBytes)
 	return err
 }
 

@@ -567,3 +567,117 @@ func TestMetricsShape(t *testing.T) {
 		}
 	}
 }
+
+// TestEstimateZeroAcceptance: a well-formed φ that no world satisfies must
+// come back as 422 with the sample counts, not a bare 400 — clients need
+// accepted/samples to tell "inconsistent knowledge" from "budget too
+// small".
+func TestEstimateZeroAcceptance(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+
+	// One bucket {flu, cold}: person 0 holds exactly one of the two values
+	// in every world, so the implication pair below rejects all of them.
+	req := map[string]any{
+		"groups":  [][]string{{"flu", "cold"}},
+		"target":  "t[0]=flu",
+		"phi":     "t[0]=flu -> t[0]=cold; t[0]=cold -> t[0]=flu",
+		"samples": 500,
+		"seed":    1,
+	}
+	var e errorBody
+	if code := postJSON(t, ts.URL+"/v1/estimate", req, &e); code != http.StatusUnprocessableEntity {
+		t.Fatalf("estimate with unsatisfiable phi = %d, want 422 (%+v)", code, e)
+	}
+	if e.Accepted == nil || *e.Accepted != 0 {
+		t.Errorf("422 body accepted = %v, want 0", e.Accepted)
+	}
+	if e.Samples == nil || *e.Samples != 500 {
+		t.Errorf("422 body samples = %v, want 500", e.Samples)
+	}
+	if e.Error == "" {
+		t.Error("422 body has no error message")
+	}
+
+	// A satisfiable φ on the same source still succeeds (the 422 path must
+	// not swallow good requests).
+	ok := map[string]any{
+		"groups":  [][]string{{"flu", "cold"}},
+		"target":  "t[0]=flu",
+		"samples": 500,
+		"seed":    1,
+	}
+	var est estimateResponse
+	if code := postJSON(t, ts.URL+"/v1/estimate", ok, &est); code != http.StatusOK {
+		t.Fatalf("satisfiable estimate = %d", code)
+	}
+	if est.Accepted == 0 {
+		t.Error("satisfiable estimate accepted no worlds")
+	}
+}
+
+// TestInlineEngineBoundedAndWarm: inline (client-chosen) bucketizations
+// flow through the shared bounded inline engine — warm across requests,
+// isolated from the dataset engine, and byte-bounded.
+func TestInlineEngineBoundedAndWarm(t *testing.T) {
+	s, ts := newTestServer(t, Config{MemoMaxBytes: 1 << 20})
+
+	req := map[string]any{"groups": [][]string{{"a", "a", "b", "c"}, {"a", "b", "b"}}, "k": 2}
+	var d1, d2 disclosureResponse
+	if code := postJSON(t, ts.URL+"/v1/disclosure", req, &d1); code != http.StatusOK {
+		t.Fatalf("inline disclosure = %d", code)
+	}
+	cold := s.InlineEngine().Stats()
+	if cold.Misses == 0 {
+		t.Fatal("inline engine saw no traffic; requests are not routed through it")
+	}
+	if code := postJSON(t, ts.URL+"/v1/disclosure", req, &d2); code != http.StatusOK {
+		t.Fatalf("repeat inline disclosure = %d", code)
+	}
+	warm := s.InlineEngine().Stats()
+	if warm.Hits <= cold.Hits {
+		t.Errorf("repeat inline request did not hit the warm inline memo: %+v -> %+v", cold, warm)
+	}
+	if d1.Disclosure != d2.Disclosure {
+		t.Errorf("warm inline disclosure %v != cold %v", d2.Disclosure, d1.Disclosure)
+	}
+	// Inline traffic must never touch the dataset engine.
+	if es := s.Engine().Stats(); es.Misses != 0 || es.Hits != 0 {
+		t.Errorf("inline traffic leaked into the shared dataset engine: %+v", es)
+	}
+	// And the inline memo is byte-bounded.
+	if warm.Bytes > 1<<20 {
+		t.Errorf("inline memo %d bytes exceeds the 1 MiB bound", warm.Bytes)
+	}
+}
+
+// TestMetricsMemoFamilies pins the new memo gauges: bytes and evictions
+// per engine, and the lock-free entries gauge.
+func TestMetricsMemoFamilies(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	registerHospital(t, ts.URL, "h")
+	postJSON(t, ts.URL+"/v1/disclosure", map[string]any{"dataset": "h", "k": 1}, nil)
+	postJSON(t, ts.URL+"/v1/disclosure", map[string]any{"groups": [][]string{{"x", "y"}}, "k": 1}, nil)
+
+	metrics := getText(t, ts.URL+"/metrics")
+	for _, want := range []string{
+		`ckprivacyd_engine_memo_bytes{engine="shared"}`,
+		`ckprivacyd_engine_memo_bytes{engine="inline"}`,
+		`ckprivacyd_engine_memo_evictions_total{engine="shared"} 0`,
+		`ckprivacyd_engine_memo_evictions_total{engine="inline"} 0`,
+		"ckprivacyd_engine_memo_entries",
+		`ckprivacyd_dataset_memo_bytes{dataset="h"}`,
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("metrics missing %q:\n%s", want, grepMetrics(metrics, "memo"))
+		}
+	}
+	// The shared engine computed something for the dataset request, so its
+	// accounted bytes must be positive.
+	for _, line := range strings.Split(metrics, "\n") {
+		if strings.HasPrefix(line, `ckprivacyd_engine_memo_bytes{engine="shared"} `) {
+			if strings.HasSuffix(line, " 0") {
+				t.Errorf("shared memo bytes still 0 after a dataset disclosure: %s", line)
+			}
+		}
+	}
+}

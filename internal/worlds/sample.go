@@ -72,9 +72,26 @@ func (in Instance) sample(target logic.Atom, phi logic.Conjunction, samples int,
 	return accepted, hits
 }
 
+// ZeroAcceptanceError reports a rejection-sampling run in which no sampled
+// world satisfied the conditioning formula φ: either φ is inconsistent with
+// the bucketization or Pr(φ | B) is too small for the sample budget. The
+// counts let callers (the HTTP API in particular) surface the distinction
+// to their clients instead of discarding it.
+type ZeroAcceptanceError struct {
+	// Accepted is always 0; carried so callers can report it uniformly.
+	Accepted int
+	// Samples is the budget that produced no accepted world.
+	Samples int
+}
+
+// Error implements error.
+func (e *ZeroAcceptanceError) Error() string {
+	return fmt.Sprintf("worlds: no sampled world satisfied the knowledge (inconsistent or too rare for %d samples)", e.Samples)
+}
+
 func finishEstimate(accepted, hits, samples int) (Estimate, error) {
 	if accepted == 0 {
-		return Estimate{Samples: samples}, fmt.Errorf("worlds: no sampled world satisfied the knowledge (inconsistent or too rare for %d samples)", samples)
+		return Estimate{Samples: samples}, &ZeroAcceptanceError{Samples: samples}
 	}
 	p := float64(hits) / float64(accepted)
 	return Estimate{
