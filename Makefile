@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet fmt fmt-check test race bench bench-json examples serve lint
+.PHONY: all build vet fmt fmt-check test race bench bench-json bench-compare examples serve lint
 
 all: build vet fmt-check test
 
@@ -66,3 +66,24 @@ bench:
 ## emitted as a test2json stream for the perf trajectory.
 bench-json:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' -json ./... | tee BENCH_local.json
+
+## bench-compare tracks the bucketization trajectory across PRs with
+## benchstat: each run rewrites BENCH_compare_new.txt with BENCH_COUNT
+## fresh samples; promote a baseline with
+## `mv BENCH_compare_new.txt BENCH_compare_old.txt` before changing code,
+## then re-run to see the delta. BENCH_PATTERN narrows the
+## sweep (default: the columnar-substrate benchmarks). benchstat is
+## fetched on demand via `go run` like the lint tools; x/perf publishes no
+## semver tags, so the version floats unless BENCHSTAT_VERSION is pinned
+## to a pseudo-version.
+BENCH_PATTERN ?= BenchmarkBucketize|BenchmarkEncodeTable|BenchmarkLatticeSweepPath
+BENCHSTAT_VERSION ?= latest
+BENCH_COUNT ?= 6
+
+bench-compare:
+	$(GO) test -bench='$(BENCH_PATTERN)' -benchmem -count=$(BENCH_COUNT) -run='^$$' . | tee BENCH_compare_new.txt
+	@if [ -f BENCH_compare_old.txt ]; then \
+		$(GO) run golang.org/x/perf/cmd/benchstat@$(BENCHSTAT_VERSION) BENCH_compare_old.txt BENCH_compare_new.txt; \
+	else \
+		echo "no BENCH_compare_old.txt baseline; run 'mv BENCH_compare_new.txt BENCH_compare_old.txt' to set one"; \
+	fi

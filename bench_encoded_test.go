@@ -1,0 +1,102 @@
+package ckprivacy_test
+
+import (
+	"testing"
+
+	"ckprivacy"
+)
+
+// ---------------------------------------------------------------------------
+// Columnar-substrate benchmarks: the encoded bucketization path against the
+// row-by-row string reference, plus the one-time encode cost. All report a
+// rows/s custom metric so the CI bench JSON artifact tracks throughput
+// across PRs (`make bench-compare` diffs runs with benchstat).
+// ---------------------------------------------------------------------------
+
+// BenchmarkBucketizeLegacy is the reference: one string-path scan of the
+// full-size synthetic Adult table at the Figure 5 generalization.
+func BenchmarkBucketizeLegacy(b *testing.B) {
+	tab := mustAdult(b, ckprivacy.AdultDefaultN)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bz, err := ckprivacy.Bucketize(tab, ckprivacy.AdultHierarchies(), fig5Levels())
+		if err != nil {
+			b.Fatal(err)
+		}
+		sinkI = len(bz.Buckets)
+	}
+	reportRowsPerSec(b, float64(tab.Len()))
+}
+
+// BenchmarkBucketizeEncoded is the same partition computed over a
+// pre-encoded view: one LUT index per row and dimension, integer group
+// keys, code-space histograms.
+func BenchmarkBucketizeEncoded(b *testing.B) {
+	tab := mustAdult(b, ckprivacy.AdultDefaultN)
+	enc := ckprivacy.EncodeTable(tab)
+	chs, err := ckprivacy.CompileHierarchies(enc, ckprivacy.AdultHierarchies())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bz, err := ckprivacy.BucketizeEncoded(enc, chs, fig5Levels())
+		if err != nil {
+			b.Fatal(err)
+		}
+		sinkI = len(bz.Buckets)
+	}
+	reportRowsPerSec(b, float64(tab.Len()))
+}
+
+// BenchmarkEncodeTable measures the one-time cost the encoded path
+// amortizes: dictionary-encoding the table plus compiling the hierarchies.
+func BenchmarkEncodeTable(b *testing.B) {
+	tab := mustAdult(b, ckprivacy.AdultDefaultN)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		enc := ckprivacy.EncodeTable(tab)
+		chs, err := ckprivacy.CompileHierarchies(enc, ckprivacy.AdultHierarchies())
+		if err != nil {
+			b.Fatal(err)
+		}
+		sinkI = len(chs)
+	}
+	reportRowsPerSec(b, float64(tab.Len()))
+}
+
+// BenchmarkLatticeSweepPath is the bucketization-dominated headline
+// compare: materialize every node of the 72-node Adult lattice on a fresh
+// Problem, legacy scan vs encoded scan + incremental coarsening. No
+// disclosure DP runs, so the ratio is purely the tentpole's work.
+func BenchmarkLatticeSweepPath(b *testing.B) {
+	tab := mustAdult(b, ckprivacy.AdultDefaultN)
+	run := func(b *testing.B, opts ...ckprivacy.ProblemOption) {
+		nodes := 0
+		for i := 0; i < b.N; i++ {
+			p, err := ckprivacy.NewProblem(tab, ckprivacy.AdultHierarchies(), ckprivacy.AdultQI(), opts...)
+			if err != nil {
+				b.Fatal(err)
+			}
+			nodes = p.Space().Size()
+			for _, n := range p.Space().All() {
+				bz, err := p.Bucketize(n)
+				if err != nil {
+					b.Fatal(err)
+				}
+				sinkI = len(bz.Buckets)
+			}
+		}
+		reportRowsPerSec(b, float64(tab.Len())*float64(nodes))
+	}
+	b.Run("legacy", func(b *testing.B) { run(b, ckprivacy.WithLegacyBucketize()) })
+	b.Run("encoded", func(b *testing.B) { run(b) })
+}
+
+// reportRowsPerSec attaches the rows/s custom metric (rows of work per
+// wall second across all iterations).
+func reportRowsPerSec(b *testing.B, rowsPerOp float64) {
+	if b.Elapsed() > 0 {
+		b.ReportMetric(rowsPerOp*float64(b.N)/b.Elapsed().Seconds(), "rows/s")
+	}
+}

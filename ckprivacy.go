@@ -79,6 +79,31 @@ func NewLevelledHierarchy(name string, domain []string, levelMaps []map[string]s
 	return hierarchy.NewLevelled(name, domain, levelMaps)
 }
 
+// Columnar encoded substrate (the fast path everything computes on).
+type (
+	// EncodedTable is the dictionary-encoded columnar view of a Table:
+	// per-attribute value dictionaries plus dense per-column code slices,
+	// built once and shared read-only.
+	EncodedTable = table.Encoded
+	// Dict is one column's value ↔ code dictionary.
+	Dict = table.Dict
+	// CompiledHierarchy is a hierarchy lowered to per-level code lookup
+	// tables over one column's dictionary.
+	CompiledHierarchy = hierarchy.Compiled
+	// CompiledHierarchies maps attribute names to compiled hierarchies.
+	CompiledHierarchies = hierarchy.CompiledSet
+)
+
+// EncodeTable builds the columnar dictionary-encoded view of a table in
+// one pass. Decoding always reproduces the exact original strings.
+func EncodeTable(t *Table) *EncodedTable { return t.Encode() }
+
+// CompileHierarchies lowers every hierarchy onto the encoded table's
+// dictionaries, so generalization becomes one array index per value.
+func CompileHierarchies(enc *EncodedTable, hs Hierarchies) (CompiledHierarchies, error) {
+	return bucket.CompileHierarchies(enc, hs)
+}
+
 // Bucketization (the sanitization method the paper analyzes).
 type (
 	// Bucketization is a partition of tuples with per-bucket
@@ -95,9 +120,26 @@ type (
 func FromValues(groups ...[]string) *Bucketization { return bucket.FromValues(groups...) }
 
 // Bucketize partitions a table by its quasi-identifiers generalized to the
-// given levels (missing attributes stay at level 0).
+// given levels (missing attributes stay at level 0). This is the
+// row-by-row string-path reference; BucketizeEncoded computes the
+// byte-identical result over an encoded view.
 func Bucketize(t *Table, hs Hierarchies, levels Levels) (*Bucketization, error) {
 	return bucket.FromGeneralization(t, hs, levels)
+}
+
+// BucketizeEncoded is Bucketize over the columnar substrate: integer
+// group keys (multi-radix packed when the dimensions fit 64 bits) and
+// code-space histograms, byte-identical to Bucketize.
+func BucketizeEncoded(enc *EncodedTable, chs CompiledHierarchies, levels Levels) (*Bucketization, error) {
+	return bucket.FromGeneralizationEncoded(enc, chs, levels)
+}
+
+// CoarsenBucketization derives the bucketization at coarser levels from
+// an already-materialized finer one of the same encoded table, merging
+// buckets instead of rescanning rows. The fine bucketization's levels
+// must be component-wise ≤ the requested ones.
+func CoarsenBucketization(fine *Bucketization, enc *EncodedTable, chs CompiledHierarchies, levels Levels) (*Bucketization, error) {
+	return bucket.Coarsen(fine, enc, chs, levels)
 }
 
 // Worst-case disclosure (the paper's core contribution).
@@ -260,6 +302,15 @@ func WithMemoBytes(n int64) ProblemOption { return anonymize.WithMemoBytes(n) }
 // WithEngine injects a fully configured (or shared) engine as the
 // problem-scoped engine, overriding WithMemoBytes.
 func WithEngine(e *Engine) ProblemOption { return anonymize.WithEngine(e) }
+
+// WithLegacyBucketize disables the problem's columnar encoded path and
+// runs every bucketization as a row-by-row string scan. It exists for
+// parity testing and benchmarking against the reference implementation.
+func WithLegacyBucketize() ProblemOption { return anonymize.WithLegacyBucketize() }
+
+// ProblemEncoding describes a problem's columnar state (whether the
+// encoded path is active and the per-attribute dictionary cardinalities).
+type ProblemEncoding = anonymize.EncodingInfo
 
 // Utility metrics.
 type (

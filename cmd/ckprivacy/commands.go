@@ -95,6 +95,8 @@ func cmdSafe(args []string) error {
 	k := fs.Int("k", 3, "background knowledge bound")
 	method := fs.String("method", "incognito", "search method: naive | incognito | chain")
 	metricName := fs.String("utility", "discernibility", "utility metric: discernibility | avg | buckets")
+	legacy := fs.Bool("legacy", false,
+		"bucketize on the row-by-row string path instead of the encoded columnar path")
 	workers := workersFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -103,8 +105,11 @@ func cmdSafe(args []string) error {
 	if err != nil {
 		return err
 	}
-	p, err := ckprivacy.NewProblem(b.Table, b.Hierarchies, b.QI,
-		ckprivacy.WithWorkers(*workers))
+	opts := []ckprivacy.ProblemOption{ckprivacy.WithWorkers(*workers)}
+	if *legacy {
+		opts = append(opts, ckprivacy.WithLegacyBucketize())
+	}
+	p, err := ckprivacy.NewProblem(b.Table, b.Hierarchies, b.QI, opts...)
 	if err != nil {
 		return err
 	}

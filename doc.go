@@ -44,6 +44,19 @@
 // each missing entry exactly once. Eviction only ever costs
 // recomputation: disclosure values are byte-identical at every capacity.
 //
+// Everything bucketization-heavy computes on a columnar substrate: a
+// table is dictionary-encoded once (EncodeTable — per-attribute value
+// dictionaries plus dense uint32 code columns), hierarchies are compiled
+// to per-level code lookup tables (CompileHierarchies), and bucketization
+// becomes integer array work — packed integer group keys and code-space
+// histograms (BucketizeEncoded), with coarser lattice nodes derived from
+// finer materialized ones by merging buckets instead of rescanning rows
+// (CoarsenBucketization). NewProblem builds this state once per problem
+// and its searches use it transparently; the string path remains the
+// reference implementation (Bucketize, WithLegacyBucketize) and the two
+// are byte-identical — same bucket keys, tuple order, histograms, search
+// results and disclosure values — under randomized parity tests.
+//
 // The library also serves: NewServer builds the resident HTTP
 // disclosure-auditing service behind the cmd/ckprivacyd daemon — a dataset
 // registry (register a table + hierarchies once, reference by name),

@@ -29,9 +29,23 @@ type Problem struct {
 	space     lattice.Space
 	workers   int
 	memoBytes int64
+	legacy    bool
 
 	cache  *bucketizeCache
 	engine *core.Engine
+
+	// enc and compiled are the columnar substrate, built once in
+	// NewProblem: the dictionary-encoded table view and the per-attribute
+	// generalization LUTs. When enc is nil (WithLegacyBucketize, or a
+	// table/hierarchy pair that fails to compile eagerly), every
+	// bucketization falls back to the row-by-row string path.
+	enc      *table.Encoded
+	compiled hierarchy.CompiledSet
+	// sources indexes materialized bucketizations by their full level
+	// vector so a cache miss can be answered by coarsening the
+	// finest-grained compatible bucketization already built, instead of
+	// rescanning the table.
+	sources *coarsenIndex
 }
 
 // Option configures a Problem at construction.
@@ -60,6 +74,14 @@ func WithMemoBytes(n int64) Option {
 // the problem-scoped engine, overriding WithMemoBytes.
 func WithEngine(e *core.Engine) Option {
 	return func(p *Problem) { p.engine = e }
+}
+
+// WithLegacyBucketize disables the columnar encoded path: every
+// bucketization runs the row-by-row string scan. The encoded path is
+// byte-identical and much faster; this option exists for parity tests and
+// benchmarks against the reference implementation.
+func WithLegacyBucketize() Option {
+	return func(p *Problem) { p.legacy = true }
 }
 
 // NewProblem validates the inputs and precomputes the lattice shape.
@@ -101,7 +123,38 @@ func NewProblem(t *table.Table, hs hierarchy.Set, qi []string, opts ...Option) (
 	if p.engine == nil {
 		p.engine = core.NewEngineWithConfig(core.EngineConfig{MemoMaxBytes: p.memoBytes})
 	}
+	if !p.legacy {
+		// Encode once per problem; every bucketization, search and serving
+		// request on this problem reuses the columnar view. Compilation
+		// fails only when a table value is unknown to its hierarchy — the
+		// same inputs the string path rejects lazily at Bucketize time — so
+		// fall back to the reference path to preserve those semantics.
+		enc := t.Encode()
+		if chs, err := bucket.CompileHierarchies(enc, hs); err == nil {
+			p.enc = enc
+			p.compiled = chs
+			p.sources = &coarsenIndex{}
+		}
+	}
 	return p, nil
+}
+
+// EncodingInfo describes a problem's columnar state.
+type EncodingInfo struct {
+	// Enabled reports whether the dictionary-encoded path is active.
+	Enabled bool
+	// Cardinalities is the per-attribute dictionary size (distinct ground
+	// values), keyed by attribute name; nil when Enabled is false.
+	Cardinalities map[string]int
+}
+
+// Encoding reports whether the problem computes on the encoded substrate
+// and, if so, the per-attribute dictionary cardinalities.
+func (p *Problem) Encoding() EncodingInfo {
+	if p.enc == nil {
+		return EncodingInfo{}
+	}
+	return EncodingInfo{Enabled: true, Cardinalities: p.enc.Cardinalities()}
 }
 
 // Engine returns the problem-scoped disclosure engine: a bounded,
@@ -134,10 +187,14 @@ func (p *Problem) NodeForLevels(levels bucket.Levels) (lattice.Node, error) {
 		idx[name] = i
 	}
 	node := make(lattice.Node, len(p.QI))
+	dims := p.space.Dims()
 	for name, lvl := range levels {
 		i, ok := idx[name]
 		if !ok {
 			return nil, fmt.Errorf("anonymize: attribute %q is not a quasi-identifier (have %v)", name, p.QI)
+		}
+		if lvl < 0 || lvl >= dims[i] {
+			return nil, fmt.Errorf("anonymize: level %d for attribute %q outside [0, %d)", lvl, name, dims[i])
 		}
 		node[i] = lvl
 	}
@@ -207,12 +264,50 @@ func (p *Problem) BucketizeSubset(subset []int, node lattice.Node) (*bucket.Buck
 	if bz, ok := p.cache.get(key); ok {
 		return bz, nil
 	}
-	bz, err := bucket.FromGeneralization(p.Table, p.Hierarchies, levels)
+	bz, err := p.materialize(levels)
 	if err != nil {
 		return nil, err
 	}
 	p.cache.put(key, bz)
 	return bz, nil
+}
+
+// materialize builds the bucketization for a complete level assignment
+// (every schema QI attribute present). On the encoded path it prefers
+// deriving the partition by coarsening the cheapest compatible
+// bucketization already materialized — O(buckets) instead of O(rows) —
+// and falls back to a single columnar scan; without an encoded view it
+// runs the reference string scan.
+func (p *Problem) materialize(levels bucket.Levels) (*bucket.Bucketization, error) {
+	if p.enc == nil {
+		return bucket.FromGeneralization(p.Table, p.Hierarchies, levels)
+	}
+	vec := p.levelVector(levels)
+	var (
+		bz  *bucket.Bucketization
+		err error
+	)
+	if fine := p.sources.best(vec); fine != nil {
+		bz, err = bucket.Coarsen(fine, p.enc, p.compiled, levels)
+	} else {
+		bz, err = bucket.FromGeneralizationEncoded(p.enc, p.compiled, levels)
+	}
+	if err != nil {
+		return nil, err
+	}
+	p.sources.add(vec, bz)
+	return bz, nil
+}
+
+// levelVector flattens a complete level assignment into schema QI order —
+// the comparable form the coarsening index orders sources by.
+func (p *Problem) levelVector(levels bucket.Levels) []int {
+	qi := p.Table.Schema.QuasiIdentifiers()
+	vec := make([]int, len(qi))
+	for i, col := range qi {
+		vec[i] = levels[p.Table.Schema.Attrs[col].Name]
+	}
+	return vec
 }
 
 func cacheKey(subset []int, node lattice.Node) string {

@@ -1,0 +1,73 @@
+package anonymize
+
+import (
+	"sync"
+
+	"ckprivacy/internal/bucket"
+)
+
+// coarsenIndex tracks every bucketization the problem has materialized,
+// keyed by its full level vector (schema QI order). A cache miss for a
+// node can then be served by bucket.Coarsen from any recorded source
+// whose vector is component-wise ≤ the target — the hierarchies' nested
+// coarsening law makes the derivation exact — and the index picks the
+// source with the fewest buckets, since coarsening cost is linear in
+// source bucket count.
+//
+// The index spans Incognito's subset lattices too: subsets map into the
+// same full-vector space (non-subset attributes pinned to top-level
+// suppression), so a bucketization built for one subset seeds searches
+// over any coarser subset. Entry count is bounded by the number of
+// distinct level vectors, i.e. the lattice size; the bucketizations
+// themselves are already retained by the problem's bucketize cache, so
+// entries add only a vector and a pointer.
+type coarsenIndex struct {
+	mu      sync.Mutex
+	entries []coarsenEntry
+}
+
+type coarsenEntry struct {
+	vec []int
+	bz  *bucket.Bucketization
+}
+
+// leqVec reports a ≤ b component-wise.
+func leqVec(a, b []int) bool {
+	for i := range a {
+		if a[i] > b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// best returns the cheapest recorded source whose level vector is
+// component-wise ≤ target, or nil when no compatible source exists yet.
+func (ci *coarsenIndex) best(target []int) *bucket.Bucketization {
+	ci.mu.Lock()
+	defer ci.mu.Unlock()
+	var best *bucket.Bucketization
+	for _, e := range ci.entries {
+		if len(e.vec) != len(target) || !leqVec(e.vec, target) {
+			continue
+		}
+		if best == nil || len(e.bz.Buckets) < len(best.Buckets) {
+			best = e.bz
+		}
+	}
+	return best
+}
+
+// add records a materialized bucketization under its level vector.
+// Duplicate vectors (racing workers materializing the same node) keep the
+// first entry; both values are byte-identical, so either serves.
+func (ci *coarsenIndex) add(vec []int, bz *bucket.Bucketization) {
+	ci.mu.Lock()
+	defer ci.mu.Unlock()
+	for _, e := range ci.entries {
+		if len(e.vec) == len(vec) && leqVec(e.vec, vec) && leqVec(vec, e.vec) {
+			return
+		}
+	}
+	ci.entries = append(ci.entries, coarsenEntry{vec: append([]int(nil), vec...), bz: bz})
+}

@@ -1,0 +1,258 @@
+package anonymize
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"strconv"
+	"testing"
+
+	"ckprivacy/internal/core"
+	"ckprivacy/internal/hierarchy"
+	"ckprivacy/internal/table"
+)
+
+// Randomized search-parity harness: for random tables, hierarchies, QI
+// orders and (c,k) policies, a Problem on the encoded path must return
+// byte-identical search results — nodes, stats, disclosure values — to a
+// Problem forced onto the legacy string path, at every worker count.
+
+// randomProblemCase draws a random table + hierarchy set (every QI gets a
+// hierarchy so subset searches can suppress attributes).
+func randomProblemCase(rng *rand.Rand) (*table.Table, hierarchy.Set, []string) {
+	nQI := 2 + rng.Intn(2)
+	attrs := make([]table.Attribute, 0, nQI+1)
+	hs := hierarchy.Set{}
+	qi := make([]string, 0, nQI)
+	widths := [][]int{{1, 2, 4, 0}, {1, 5, 0}, {1, 10, 0}}
+	for i := 0; i < nQI; i++ {
+		name := fmt.Sprintf("q%d", i)
+		qi = append(qi, name)
+		if rng.Intn(2) == 0 {
+			attrs = append(attrs, table.Attribute{Name: name, Kind: table.Numeric, Min: 0, Max: 99})
+			hs[name] = hierarchy.MustInterval(name, widths[rng.Intn(len(widths))])
+		} else {
+			d := 2 + rng.Intn(4)
+			domain := make([]string, d)
+			for j := range domain {
+				domain[j] = fmt.Sprintf("c%d", j)
+			}
+			attrs = append(attrs, table.Attribute{Name: name, Kind: table.Categorical, Domain: domain})
+			hs[name] = hierarchy.NewSuppression(name, domain)
+		}
+	}
+	sdom := []string{"s0", "s1", "s2", "s3"}
+	attrs = append(attrs, table.Attribute{Name: "sens", Kind: table.Categorical, Domain: sdom})
+	s, err := table.NewSchema(attrs, "sens")
+	if err != nil {
+		panic(err)
+	}
+	tab := table.New(s)
+	rows := 10 + rng.Intn(80)
+	for r := 0; r < rows; r++ {
+		row := make(table.Row, len(attrs))
+		for c, a := range attrs {
+			if a.Kind == table.Numeric {
+				row[c] = strconv.Itoa(rng.Intn(100))
+			} else {
+				row[c] = a.Domain[rng.Intn(len(a.Domain))]
+			}
+		}
+		tab.MustAppend(row)
+	}
+	// Shuffle the QI order so lattice dimension order varies too.
+	rng.Shuffle(len(qi), func(i, j int) { qi[i], qi[j] = qi[j], qi[i] })
+	return tab, hs, qi
+}
+
+// TestSearchParityEncodedVsLegacy runs all three searches on both paths
+// and asserts identical nodes, stats and disclosure values.
+func TestSearchParityEncodedVsLegacy(t *testing.T) {
+	cases := 25
+	if testing.Short() {
+		cases = 8
+	}
+	rng := rand.New(rand.NewSource(23))
+	for i := 0; i < cases; i++ {
+		tab, hs, qi := randomProblemCase(rng)
+		c := []float64{0.4, 0.6, 0.8}[rng.Intn(3)]
+		k := rng.Intn(3)
+		for _, workers := range []int{1, 4} {
+			legacy, err := NewProblem(tab, hs, qi, WithWorkers(workers), WithLegacyBucketize())
+			if err != nil {
+				t.Fatalf("case %d: legacy problem: %v", i, err)
+			}
+			encoded, err := NewProblem(tab, hs, qi, WithWorkers(workers))
+			if err != nil {
+				t.Fatalf("case %d: encoded problem: %v", i, err)
+			}
+			if legacy.Encoding().Enabled {
+				t.Fatalf("case %d: WithLegacyBucketize left encoding enabled", i)
+			}
+			if !encoded.Encoding().Enabled {
+				t.Fatalf("case %d: encoded problem did not encode", i)
+			}
+			label := fmt.Sprintf("case %d (c=%v k=%d workers=%d)", i, c, k, workers)
+
+			ln, ls, err := legacy.MinimalSafe(legacy.CKSafety(c, k))
+			if err != nil {
+				t.Fatalf("%s: legacy MinimalSafe: %v", label, err)
+			}
+			en, es, err := encoded.MinimalSafe(encoded.CKSafety(c, k))
+			if err != nil {
+				t.Fatalf("%s: encoded MinimalSafe: %v", label, err)
+			}
+			if !reflect.DeepEqual(ln, en) || ls != es {
+				t.Fatalf("%s: MinimalSafe mismatch: legacy %v %+v, encoded %v %+v", label, ln, ls, en, es)
+			}
+
+			ln, ls, err = legacy.MinimalSafeIncognito(legacy.CKSafety(c, k))
+			if err != nil {
+				t.Fatalf("%s: legacy Incognito: %v", label, err)
+			}
+			en, es, err = encoded.MinimalSafeIncognito(encoded.CKSafety(c, k))
+			if err != nil {
+				t.Fatalf("%s: encoded Incognito: %v", label, err)
+			}
+			if !reflect.DeepEqual(ln, en) || ls != es {
+				t.Fatalf("%s: Incognito mismatch: legacy %v %+v, encoded %v %+v", label, ln, ls, en, es)
+			}
+
+			lNode, lOK, lStats, err := legacy.ChainSearch(legacy.CKSafety(c, k))
+			if err != nil {
+				t.Fatalf("%s: legacy ChainSearch: %v", label, err)
+			}
+			eNode, eOK, eStats, err := encoded.ChainSearch(encoded.CKSafety(c, k))
+			if err != nil {
+				t.Fatalf("%s: encoded ChainSearch: %v", label, err)
+			}
+			if lOK != eOK || !reflect.DeepEqual(lNode, eNode) || lStats != eStats {
+				t.Fatalf("%s: ChainSearch mismatch: legacy %v/%v %+v, encoded %v/%v %+v",
+					label, lNode, lOK, lStats, eNode, eOK, eStats)
+			}
+
+			// Disclosure values over both paths' bucketizations, node by node.
+			for _, node := range legacy.Space().All() {
+				lbz, err := legacy.Bucketize(node)
+				if err != nil {
+					t.Fatalf("%s: legacy bucketize %v: %v", label, node, err)
+				}
+				ebz, err := encoded.Bucketize(node)
+				if err != nil {
+					t.Fatalf("%s: encoded bucketize %v: %v", label, node, err)
+				}
+				ld, err := core.MaxDisclosure(lbz, k)
+				if err != nil {
+					t.Fatalf("%s: legacy disclosure %v: %v", label, node, err)
+				}
+				ed, err := core.MaxDisclosure(ebz, k)
+				if err != nil {
+					t.Fatalf("%s: encoded disclosure %v: %v", label, node, err)
+				}
+				if ld != ed {
+					t.Fatalf("%s: disclosure at %v: legacy %v, encoded %v", label, node, ld, ed)
+				}
+			}
+		}
+	}
+}
+
+// nonNested is a custom Hierarchy violating the nested-coarsening law
+// ("a" and "b" agree at level 1 but split at level 2).
+type nonNested struct{}
+
+func (nonNested) Name() string { return "q0" }
+func (nonNested) Levels() int  { return 3 }
+func (nonNested) Generalize(v string, level int) (string, error) {
+	switch level {
+	case 0:
+		return v, nil
+	case 1:
+		if v == "c" {
+			return "y", nil
+		}
+		return "x", nil
+	default:
+		if v == "a" {
+			return "p", nil
+		}
+		return "q", nil
+	}
+}
+
+// TestNonNestedHierarchyFallsBackToLegacy pins the safety net: a problem
+// over a law-violating custom hierarchy must not enable the encoded path
+// (whose coarsening derivation assumes the law) and must still produce
+// the string path's correct results.
+func TestNonNestedHierarchyFallsBackToLegacy(t *testing.T) {
+	s, err := table.NewSchema([]table.Attribute{
+		{Name: "q0", Kind: table.Categorical, Domain: []string{"a", "b", "c"}},
+		{Name: "sens", Kind: table.Categorical, Domain: []string{"s0", "s1"}},
+	}, "sens")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := table.New(s)
+	rng := rand.New(rand.NewSource(9))
+	for r := 0; r < 40; r++ {
+		tab.MustAppend(table.Row{
+			[]string{"a", "b", "c"}[rng.Intn(3)],
+			[]string{"s0", "s1"}[rng.Intn(2)],
+		})
+	}
+	hs := hierarchy.Set{"q0": nonNested{}}
+	p, err := NewProblem(tab, hs, []string{"q0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Encoding().Enabled {
+		t.Fatal("encoded path enabled for a non-nested hierarchy")
+	}
+	legacy, err := NewProblem(tab, hs, []string{"q0"}, WithLegacyBucketize())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, node := range p.Space().All() {
+		want, err := legacy.Bucketize(node)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := p.Bucketize(node)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(want, got) {
+			t.Fatalf("node %v: fallback bucketization differs from legacy", node)
+		}
+	}
+}
+
+// TestCoarsenIndexSeeded checks the incremental derivation is actually in
+// play: after a full-lattice sweep, the problem has recorded one source
+// per materialized vector and a repeated sweep hits the cache.
+func TestCoarsenIndexSeeded(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	tab, hs, qi := randomProblemCase(rng)
+	p, err := NewProblem(tab, hs, qi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, node := range p.Space().All() {
+		if _, err := p.Bucketize(node); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got, want := len(p.sources.entries), p.Space().Size(); got != want {
+		t.Fatalf("coarsen index has %d entries, want %d", got, want)
+	}
+	before := p.CacheStats()
+	for _, node := range p.Space().All() {
+		if _, err := p.Bucketize(node); err != nil {
+			t.Fatal(err)
+		}
+	}
+	after := p.CacheStats()
+	if after.Misses != before.Misses {
+		t.Fatalf("repeat sweep missed the cache: %d -> %d misses", before.Misses, after.Misses)
+	}
+}

@@ -25,27 +25,48 @@ type Bucket struct {
 	// Tuples lists the row indices (person identities) in the bucket.
 	Tuples []int
 
-	counts map[string]int
 	freq   []table.ValueCount // decreasing count, ties by value
 	prefix []int              // prefix[j] = sum of top-j counts
+	hist   []int              // counts only, aligned with freq
+	// scounts is the sensitive histogram over the encoded table's
+	// sensitive code space; nil for buckets built on the string path. The
+	// incremental coarsening path merges these without touching strings.
+	scounts []int32
 }
 
-// newBucket finalizes a bucket's derived state from its counts.
+// newBucket finalizes a bucket's derived state from a sensitive-value
+// count map. The map is not retained: the sorted freq slice answers every
+// later query.
 func newBucket(key string, tuples []int, counts map[string]int) *Bucket {
-	b := &Bucket{Key: key, Tuples: tuples, counts: counts}
-	b.freq = table.SortCounts(counts)
+	b := &Bucket{Key: key, Tuples: tuples, freq: table.SortCounts(counts)}
+	b.finalize()
+	return b
+}
+
+// finalize derives the prefix sums and the cached histogram from freq.
+func (b *Bucket) finalize() {
 	b.prefix = make([]int, len(b.freq)+1)
+	b.hist = make([]int, len(b.freq))
 	for i, vc := range b.freq {
 		b.prefix[i+1] = b.prefix[i] + vc.Count
+		b.hist[i] = vc.Count
 	}
-	return b
 }
 
 // Size returns n_b, the number of tuples in the bucket.
 func (b *Bucket) Size() int { return len(b.Tuples) }
 
-// Count returns n_b(s), the multiplicity of sensitive value s.
-func (b *Bucket) Count(s string) int { return b.counts[s] }
+// Count returns n_b(s), the multiplicity of sensitive value s. The number
+// of distinct sensitive values per bucket is small, so a linear scan of
+// the freq slice beats retaining a dedicated map per bucket.
+func (b *Bucket) Count(s string) int {
+	for _, vc := range b.freq {
+		if vc.Value == s {
+			return vc.Count
+		}
+	}
+	return 0
+}
 
 // Freq returns the value counts in decreasing order (s⁰_b first). The
 // returned slice must not be modified.
@@ -71,14 +92,9 @@ func (b *Bucket) PrefixSum(j int) int {
 }
 
 // Histogram returns the counts in decreasing order. The DP in
-// internal/core depends only on this.
-func (b *Bucket) Histogram() []int {
-	h := make([]int, len(b.freq))
-	for i, vc := range b.freq {
-		h[i] = vc.Count
-	}
-	return h
-}
+// internal/core depends only on this. The slice is computed once at
+// construction and shared across calls: it must be treated as read-only.
+func (b *Bucket) Histogram() []int { return b.hist }
 
 // Signature returns a canonical string form of the histogram, used to share
 // memoized DP tables between buckets with identical histograms.
@@ -124,13 +140,54 @@ func FromValues(groups ...[]string) *Bucketization {
 // Levels assigns a generalization level to each quasi-identifier by name.
 type Levels map[string]int
 
+// validateLevels rejects level assignments that the grouping loop would
+// otherwise silently ignore or default: attributes that do not exist in
+// the schema (typos), the sensitive attribute, and levels outside the
+// attribute's hierarchy range. hierLevels reports the named attribute's
+// level count, false when it has no hierarchy.
+func validateLevels(s *table.Schema, levels Levels, hierLevels func(name string) (int, bool)) error {
+	for name, lvl := range levels {
+		col := s.Index(name)
+		if col < 0 {
+			return fmt.Errorf("bucket: levels name unknown attribute %q", name)
+		}
+		if col == s.SensitiveIndex {
+			return fmt.Errorf("bucket: levels name the sensitive attribute %q, which cannot be generalized", name)
+		}
+		if lvl == 0 {
+			continue // identity needs no hierarchy
+		}
+		n, ok := hierLevels(name)
+		if !ok {
+			return fmt.Errorf("bucket: no hierarchy for attribute %q", name)
+		}
+		if lvl < 0 || lvl >= n {
+			return fmt.Errorf("bucket: level %d for attribute %q outside [0, %d)", lvl, name, n)
+		}
+	}
+	return nil
+}
+
 // FromGeneralization partitions t by the generalized values of its
 // quasi-identifiers: two tuples share a bucket iff they agree on every QI
 // attribute after generalization to the given level. Attributes absent from
 // levels default to level 0 (no generalization). This realizes the paper's
 // equivalence of full-domain generalization and bucketization under full
 // identification information.
+//
+// This is the string-path reference implementation; FromGeneralizationEncoded
+// computes the byte-identical result over an Encoded view of the table.
 func FromGeneralization(t *table.Table, hs hierarchy.Set, levels Levels) (*Bucketization, error) {
+	err := validateLevels(t.Schema, levels, func(name string) (int, bool) {
+		h, ok := hs[name]
+		if !ok {
+			return 0, false
+		}
+		return h.Levels(), true
+	})
+	if err != nil {
+		return nil, err
+	}
 	qi := t.Schema.QuasiIdentifiers()
 	type group struct {
 		tuples []int
@@ -200,17 +257,24 @@ func (bz *Bucketization) Merge(i, j int) (*Bucketization, error) {
 			continue
 		}
 		a, c := bz.Buckets[i], bz.Buckets[j]
-		counts := make(map[string]int, len(a.counts)+len(c.counts))
-		for v, n := range a.counts {
-			counts[v] += n
+		counts := make(map[string]int, len(a.freq)+len(c.freq))
+		for _, vc := range a.freq {
+			counts[vc.Value] += vc.Count
 		}
-		for v, n := range c.counts {
-			counts[v] += n
+		for _, vc := range c.freq {
+			counts[vc.Value] += vc.Count
 		}
 		tuples := make([]int, 0, len(a.Tuples)+len(c.Tuples))
 		tuples = append(tuples, a.Tuples...)
 		tuples = append(tuples, c.Tuples...)
-		out.Buckets = append(out.Buckets, newBucket(a.Key+"+"+c.Key, tuples, counts))
+		merged := newBucket(a.Key+"+"+c.Key, tuples, counts)
+		if a.scounts != nil && c.scounts != nil && len(a.scounts) == len(c.scounts) {
+			merged.scounts = make([]int32, len(a.scounts))
+			for v := range a.scounts {
+				merged.scounts[v] = a.scounts[v] + c.scounts[v]
+			}
+		}
+		out.Buckets = append(out.Buckets, merged)
 	}
 	return out, nil
 }

@@ -1,0 +1,373 @@
+package bucket
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"strings"
+
+	"ckprivacy/internal/hierarchy"
+	"ckprivacy/internal/table"
+)
+
+// This file is the integer path of bucketization: it computes the exact
+// same partition as FromGeneralization, but over a columnar Encoded view
+// of the table and compiled hierarchies, so the per-row work is a handful
+// of array indexes instead of map lookups and string joins. Per-row
+// generalized codes are packed into a single uint64 group key when the
+// per-dimension cardinalities fit 64 bits (multi-radix positional
+// packing), falling back to a byte-tuple key otherwise — the fallback is
+// exact, not a lossy hash, so both key paths group identically. Sensitive
+// histograms are counted over the sensitive dictionary's code space and
+// decoded to strings once per bucket.
+//
+// Byte-identity contract (relied on by the randomized parity tests and by
+// the lattice searches' caches): bucket keys, bucket order, tuple sets and
+// orders, and sensitive histograms are identical to the string path's.
+
+// CompileHierarchies compiles every hierarchy that names a column of the
+// encoded table over that column's dictionary (in dictionary code order).
+// Hierarchies for attributes the table lacks are skipped, matching the
+// string path, which never consults them.
+func CompileHierarchies(enc *table.Encoded, hs hierarchy.Set) (hierarchy.CompiledSet, error) {
+	chs := make(hierarchy.CompiledSet, len(hs))
+	for name, h := range hs {
+		col := enc.Table.Schema.Index(name)
+		if col < 0 {
+			continue
+		}
+		c, err := hierarchy.Compile(h, enc.Dicts[col].Values())
+		if err != nil {
+			return nil, fmt.Errorf("bucket: %w", err)
+		}
+		chs[name] = c
+	}
+	return chs, nil
+}
+
+// dim is one quasi-identifier dimension of an encoded grouping: the code
+// column, the (optional) generalization LUT for the requested level, and
+// the decoding hooks used to materialize bucket keys.
+type dim struct {
+	col   []uint32
+	lut   []uint32 // nil at level 0 (identity over the dictionary)
+	card  uint64   // generalized-code cardinality at the level
+	level int
+	comp  *hierarchy.Compiled // nil at level 0
+	dict  *table.Dict
+}
+
+// value decodes row's generalized value string in this dimension.
+func (d *dim) value(row int) string {
+	c := d.col[row]
+	if d.lut == nil {
+		return d.dict.Value(c)
+	}
+	return d.comp.Value(d.level, d.lut[c])
+}
+
+// buildDims resolves the schema's quasi-identifiers at the given levels
+// against the encoded view and the compiled hierarchies.
+func buildDims(enc *table.Encoded, chs hierarchy.CompiledSet, levels Levels) ([]dim, error) {
+	s := enc.Table.Schema
+	err := validateLevels(s, levels, func(name string) (int, bool) {
+		c, ok := chs[name]
+		if !ok {
+			return 0, false
+		}
+		return c.Levels(), true
+	})
+	if err != nil {
+		return nil, err
+	}
+	qi := s.QuasiIdentifiers()
+	dims := make([]dim, len(qi))
+	for i, col := range qi {
+		name := s.Attrs[col].Name
+		lvl := levels[name]
+		d := dim{col: enc.Cols[col], level: lvl, dict: enc.Dicts[col]}
+		if lvl != 0 {
+			c, ok := chs[name]
+			if !ok {
+				return nil, fmt.Errorf("bucket: no hierarchy for attribute %q", name)
+			}
+			d.lut = c.Lut(lvl)
+			d.card = uint64(c.Cardinality(lvl))
+			d.comp = c
+		} else {
+			d.card = uint64(enc.Dicts[col].Len())
+		}
+		dims[i] = d
+	}
+	return dims, nil
+}
+
+// packable reports whether the dimensions' generalized-code product fits a
+// uint64, i.e. whether positional multi-radix packing is collision-free.
+func packable(dims []dim) bool {
+	prod := uint64(1)
+	for _, d := range dims {
+		if d.card == 0 {
+			return true // empty table; no keys will be built
+		}
+		if prod > ^uint64(0)/d.card {
+			return false
+		}
+		prod *= d.card
+	}
+	return true
+}
+
+// packKey builds the multi-radix packed key of one row.
+func packKey(dims []dim, row int) uint64 {
+	key := uint64(0)
+	for i := range dims {
+		d := &dims[i]
+		c := d.col[row]
+		if d.lut != nil {
+			c = d.lut[c]
+		}
+		key = key*d.card + uint64(c)
+	}
+	return key
+}
+
+// appendTupleKey serializes one row's generalized code tuple into buf
+// (the exact fallback when packing would overflow).
+func appendTupleKey(dims []dim, row int, buf []byte) {
+	for i := range dims {
+		d := &dims[i]
+		c := d.col[row]
+		if d.lut != nil {
+			c = d.lut[c]
+		}
+		binary.BigEndian.PutUint32(buf[4*i:], c)
+	}
+}
+
+// maxDenseSensitive bounds the sensitive cardinality up to which
+// per-group histograms are dense []int32 slices over the code space.
+// Above it (e.g. a near-unique sensitive column), dense slices would cost
+// O(buckets × cardinality) memory — quadratic at fine lattice nodes where
+// buckets ≈ rows — so groups fall back to sparse maps, keeping the total
+// O(rows) like the string path.
+const maxDenseSensitive = 256
+
+// egroup accumulates one bucket of the encoded grouping. Exactly one of
+// scounts (dense) or sparse is non-nil, chosen by sensitive cardinality.
+type egroup struct {
+	rep     int // representative row: any member; all agree at these levels
+	tuples  []int
+	scounts []int32
+	sparse  map[uint32]int32
+}
+
+// newEgroup allocates a group with the histogram representation suited to
+// the sensitive code space.
+func newEgroup(rep, scard int) *egroup {
+	g := &egroup{rep: rep}
+	if scard <= maxDenseSensitive {
+		g.scounts = make([]int32, scard)
+	} else {
+		g.sparse = make(map[uint32]int32, 4)
+	}
+	return g
+}
+
+// addRow appends one row to the group.
+func (g *egroup) addRow(row int, sens []uint32) {
+	g.tuples = append(g.tuples, row)
+	if g.scounts != nil {
+		g.scounts[sens[row]]++
+	} else {
+		g.sparse[sens[row]]++
+	}
+}
+
+// keyString materializes the bucket key of a group from its
+// representative row — the same "v1|v2|…" string the legacy path builds
+// per row, built here once per bucket.
+func keyString(dims []dim, row int, parts []string) string {
+	for i := range dims {
+		parts[i] = dims[i].value(row)
+	}
+	return strings.Join(parts, "|")
+}
+
+// bucket finalizes the group into a Bucket, decoding value strings
+// through the sensitive dictionary. Sorting matches table.SortCounts
+// (count desc, value asc), so the resulting freq slice is byte-identical
+// to the string path's. Dense groups keep their code histogram on the
+// bucket for later coarsening; sparse ones drop it (Coarsen recounts
+// their rows, which is still O(rows) total).
+func (g *egroup) bucket(key string, sdict *table.Dict) *Bucket {
+	freq := make([]table.ValueCount, 0, 8)
+	if g.scounts != nil {
+		for code, n := range g.scounts {
+			if n > 0 {
+				freq = append(freq, table.ValueCount{Value: sdict.Value(uint32(code)), Count: int(n)})
+			}
+		}
+	} else {
+		for code, n := range g.sparse {
+			freq = append(freq, table.ValueCount{Value: sdict.Value(code), Count: int(n)})
+		}
+	}
+	sort.Slice(freq, func(i, j int) bool {
+		if freq[i].Count != freq[j].Count {
+			return freq[i].Count > freq[j].Count
+		}
+		return freq[i].Value < freq[j].Value
+	})
+	b := &Bucket{Key: key, Tuples: g.tuples, freq: freq, scounts: g.scounts}
+	b.finalize()
+	return b
+}
+
+// finishGroups materializes and orders the buckets of an encoded
+// grouping: keys decoded once per group, groups sorted by key exactly as
+// the string path sorts.
+func finishGroups(enc *table.Encoded, dims []dim, groups []*egroup) *Bucketization {
+	type keyed struct {
+		key string
+		g   *egroup
+	}
+	ks := make([]keyed, len(groups))
+	parts := make([]string, len(dims))
+	for i, g := range groups {
+		ks[i] = keyed{keyString(dims, g.rep, parts), g}
+	}
+	sort.Slice(ks, func(i, j int) bool { return ks[i].key < ks[j].key })
+	bz := &Bucketization{Source: enc.Table}
+	bz.Buckets = make([]*Bucket, len(ks))
+	sdict := enc.SensitiveDict()
+	for i, k := range ks {
+		bz.Buckets[i] = k.g.bucket(k.key, sdict)
+	}
+	return bz
+}
+
+// FromGeneralizationEncoded is FromGeneralization over the encoded view:
+// the same partition, keys, tuple order and histograms, computed with one
+// LUT index per row and dimension instead of per-row map lookups and
+// string joins.
+func FromGeneralizationEncoded(enc *table.Encoded, chs hierarchy.CompiledSet, levels Levels) (*Bucketization, error) {
+	dims, err := buildDims(enc, chs, levels)
+	if err != nil {
+		return nil, err
+	}
+	rows := enc.Rows()
+	sens := enc.SensitiveCol()
+	scard := enc.SensitiveDict().Len()
+	var groups []*egroup
+	if packable(dims) {
+		byKey := make(map[uint64]*egroup)
+		for row := 0; row < rows; row++ {
+			key := packKey(dims, row)
+			g := byKey[key]
+			if g == nil {
+				g = newEgroup(row, scard)
+				byKey[key] = g
+				groups = append(groups, g)
+			}
+			g.addRow(row, sens)
+		}
+	} else {
+		byKey := make(map[string]*egroup)
+		buf := make([]byte, 4*len(dims))
+		for row := 0; row < rows; row++ {
+			appendTupleKey(dims, row, buf)
+			g := byKey[string(buf)]
+			if g == nil {
+				g = newEgroup(row, scard)
+				byKey[string(buf)] = g
+				groups = append(groups, g)
+			}
+			g.addRow(row, sens)
+		}
+	}
+	return finishGroups(enc, dims, groups), nil
+}
+
+// Coarsen derives the bucketization at the given levels from an
+// already-materialized finer bucketization of the same encoded table,
+// without rescanning the rows: every fine bucket is re-keyed through its
+// representative row (the hierarchies' nested-coarsening law guarantees
+// all its rows generalize identically), fine buckets with equal coarse
+// keys are merged, and their sensitive code histograms are summed. The
+// cost is proportional to the number of fine buckets, not the number of
+// rows — this is what makes lattice-wide sweeps cheap after the first
+// scan.
+//
+// Precondition: fine partitions enc.Table at levels that are
+// component-wise ≤ the requested levels (on every schema QI attribute).
+// The result is then byte-identical to FromGeneralizationEncoded at the
+// requested levels.
+func Coarsen(fine *Bucketization, enc *table.Encoded, chs hierarchy.CompiledSet, levels Levels) (*Bucketization, error) {
+	dims, err := buildDims(enc, chs, levels)
+	if err != nil {
+		return nil, err
+	}
+	sens := enc.SensitiveCol()
+	scard := enc.SensitiveDict().Len()
+	// merge folds one fine bucket into the group: dense histograms are
+	// summed slice-to-slice when the fine bucket carries one, and recounted
+	// from its rows otherwise (sparse groups always recount — still O(rows)
+	// across the whole call, like the string path).
+	merge := func(g *egroup, b *Bucket) {
+		g.tuples = append(g.tuples, b.Tuples...)
+		switch {
+		case g.scounts != nil && b.scounts != nil && len(b.scounts) == scard:
+			for v, n := range b.scounts {
+				g.scounts[v] += n
+			}
+		case g.scounts != nil:
+			for _, row := range b.Tuples {
+				g.scounts[sens[row]]++
+			}
+		default:
+			for _, row := range b.Tuples {
+				g.sparse[sens[row]]++
+			}
+		}
+	}
+	var groups []*egroup
+	if packable(dims) {
+		byKey := make(map[uint64]*egroup)
+		for _, b := range fine.Buckets {
+			if len(b.Tuples) == 0 {
+				continue
+			}
+			key := packKey(dims, b.Tuples[0])
+			g := byKey[key]
+			if g == nil {
+				g = newEgroup(b.Tuples[0], scard)
+				byKey[key] = g
+				groups = append(groups, g)
+			}
+			merge(g, b)
+		}
+	} else {
+		byKey := make(map[string]*egroup)
+		buf := make([]byte, 4*len(dims))
+		for _, b := range fine.Buckets {
+			if len(b.Tuples) == 0 {
+				continue
+			}
+			appendTupleKey(dims, b.Tuples[0], buf)
+			g := byKey[string(buf)]
+			if g == nil {
+				g = newEgroup(b.Tuples[0], scard)
+				byKey[string(buf)] = g
+				groups = append(groups, g)
+			}
+			merge(g, b)
+		}
+	}
+	// The string path emits tuples in row-scan order; merged runs must be
+	// re-sorted to match (each run is ascending, so this is near-linear).
+	for _, g := range groups {
+		sort.Ints(g.tuples)
+	}
+	return finishGroups(enc, dims, groups), nil
+}

@@ -1,0 +1,388 @@
+package bucket
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"strconv"
+	"strings"
+	"testing"
+
+	"ckprivacy/internal/hierarchy"
+	"ckprivacy/internal/table"
+)
+
+// This file is the randomized parity harness for the encoded path: random
+// tables, random hierarchies, random level vectors — the encoded scan and
+// the incremental coarsening derivation must be byte-identical to the
+// string-path reference (same bucket keys, same tuple sets and orders,
+// same histograms).
+
+// randNested builds a random levelled hierarchy over domain with 1–3
+// levels above identity, nested by construction (each level coarsens the
+// previous level's groups, the top level possibly short of "*").
+func randNested(rng *rand.Rand, name string, domain []string) hierarchy.Hierarchy {
+	nLevels := 1 + rng.Intn(3)
+	maps := make([]map[string]string, 0, nLevels)
+	cur := make(map[string]string, len(domain)) // value -> current-level label
+	for _, v := range domain {
+		cur[v] = v
+	}
+	for l := 0; l < nLevels; l++ {
+		labels := make(map[string]string) // current label -> next label
+		next := make(map[string]string, len(domain))
+		for _, v := range domain {
+			lbl, ok := labels[cur[v]]
+			if !ok {
+				lbl = fmt.Sprintf("L%d.g%d", l, rng.Intn(2+len(domain)/2))
+				labels[cur[v]] = lbl
+			}
+			next[v] = lbl
+		}
+		maps = append(maps, next)
+		cur = next
+	}
+	return hierarchy.MustLevelled(name, domain, maps)
+}
+
+// randCase draws one random table + hierarchy set.
+func randCase(rng *rand.Rand) (*table.Table, hierarchy.Set) {
+	nQI := 1 + rng.Intn(4)
+	attrs := make([]table.Attribute, 0, nQI+1)
+	hs := hierarchy.Set{}
+	intervalWidths := [][]int{{1, 2, 4, 0}, {1, 5, 25}, {1, 3, 9, 0}, {1, 10, 0}}
+	for i := 0; i < nQI; i++ {
+		name := fmt.Sprintf("q%d", i)
+		if rng.Intn(2) == 0 {
+			attrs = append(attrs, table.Attribute{Name: name, Kind: table.Numeric, Min: 0, Max: 99})
+			hs[name] = hierarchy.MustInterval(name, intervalWidths[rng.Intn(len(intervalWidths))])
+		} else {
+			d := 2 + rng.Intn(7)
+			domain := make([]string, d)
+			for j := range domain {
+				domain[j] = fmt.Sprintf("c%d", j)
+			}
+			attrs = append(attrs, table.Attribute{Name: name, Kind: table.Categorical, Domain: domain})
+			hs[name] = randNested(rng, name, domain)
+		}
+	}
+	sd := 2 + rng.Intn(5)
+	sdom := make([]string, sd)
+	for j := range sdom {
+		sdom[j] = fmt.Sprintf("s%d", j)
+	}
+	attrs = append(attrs, table.Attribute{Name: "sens", Kind: table.Categorical, Domain: sdom})
+	s, err := table.NewSchema(attrs, "sens")
+	if err != nil {
+		panic(err)
+	}
+	tab := table.New(s)
+	rows := 1 + rng.Intn(120)
+	for r := 0; r < rows; r++ {
+		row := make(table.Row, len(attrs))
+		for c, a := range attrs {
+			if a.Kind == table.Numeric {
+				row[c] = strconv.Itoa(rng.Intn(100))
+			} else {
+				row[c] = a.Domain[rng.Intn(len(a.Domain))]
+			}
+		}
+		tab.MustAppend(row)
+	}
+	return tab, hs
+}
+
+// randLevels draws a random level per hierarchy, bounded component-wise
+// by max when max is non-nil.
+func randLevels(rng *rand.Rand, hs hierarchy.Set, max Levels) Levels {
+	levels := Levels{}
+	for name, h := range hs {
+		hi := h.Levels()
+		if max != nil {
+			hi = max[name] + 1
+		}
+		levels[name] = rng.Intn(hi)
+	}
+	return levels
+}
+
+// requireIdentical asserts full byte-identity of two bucketizations.
+func requireIdentical(t *testing.T, want, got *Bucketization, label string) {
+	t.Helper()
+	if len(want.Buckets) != len(got.Buckets) {
+		t.Fatalf("%s: %d buckets, want %d", label, len(got.Buckets), len(want.Buckets))
+	}
+	for i := range want.Buckets {
+		w, g := want.Buckets[i], got.Buckets[i]
+		if w.Key != g.Key {
+			t.Fatalf("%s: bucket %d key %q, want %q", label, i, g.Key, w.Key)
+		}
+		if !reflect.DeepEqual(w.Tuples, g.Tuples) {
+			t.Fatalf("%s: bucket %d tuples %v, want %v", label, i, g.Tuples, w.Tuples)
+		}
+		if !reflect.DeepEqual(w.Freq(), g.Freq()) {
+			t.Fatalf("%s: bucket %d freq %v, want %v", label, i, g.Freq(), w.Freq())
+		}
+		if !reflect.DeepEqual(w.Histogram(), g.Histogram()) {
+			t.Fatalf("%s: bucket %d histogram %v, want %v", label, i, g.Histogram(), w.Histogram())
+		}
+		if w.Signature() != g.Signature() {
+			t.Fatalf("%s: bucket %d signature %q, want %q", label, i, g.Signature(), w.Signature())
+		}
+	}
+}
+
+// TestEncodedParityRandom is the randomized property test: on random
+// tables, hierarchies and level vectors, the encoded scan and the
+// coarsening derivation are byte-identical to the string path.
+func TestEncodedParityRandom(t *testing.T) {
+	cases := 200
+	if testing.Short() {
+		cases = 40
+	}
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < cases; i++ {
+		tab, hs := randCase(rng)
+		enc := tab.Encode()
+		chs, err := CompileHierarchies(enc, hs)
+		if err != nil {
+			t.Fatalf("case %d: compile: %v", i, err)
+		}
+		levels := randLevels(rng, hs, nil)
+		want, err := FromGeneralization(tab, hs, levels)
+		if err != nil {
+			t.Fatalf("case %d: legacy: %v", i, err)
+		}
+		got, err := FromGeneralizationEncoded(enc, chs, levels)
+		if err != nil {
+			t.Fatalf("case %d: encoded: %v", i, err)
+		}
+		requireIdentical(t, want, got, fmt.Sprintf("case %d levels %v", i, levels))
+
+		// Coarsening from any finer vector must land on the same result.
+		fineLevels := randLevels(rng, hs, levels)
+		fine, err := FromGeneralizationEncoded(enc, chs, fineLevels)
+		if err != nil {
+			t.Fatalf("case %d: fine: %v", i, err)
+		}
+		coarse, err := Coarsen(fine, enc, chs, levels)
+		if err != nil {
+			t.Fatalf("case %d: coarsen: %v", i, err)
+		}
+		requireIdentical(t, want, coarse,
+			fmt.Sprintf("case %d coarsen %v -> %v", i, fineLevels, levels))
+	}
+}
+
+// TestEncodedParityPaperExample pins the worked example through both key
+// paths.
+func TestEncodedParityPaperExample(t *testing.T) {
+	tab := paperTable(t)
+	hs := paperHierarchies()
+	enc := tab.Encode()
+	chs, err := CompileHierarchies(enc, hs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, levels := range []Levels{
+		{},
+		{"Zip": 1, "Age": 1},
+		{"Zip": 1, "Age": 1, "Sex": 1},
+		{"Zip": 2, "Age": 2, "Sex": 1},
+	} {
+		want, err := FromGeneralization(tab, hs, levels)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := FromGeneralizationEncoded(enc, chs, levels)
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireIdentical(t, want, got, fmt.Sprintf("levels %v", levels))
+	}
+}
+
+// TestEncodedFallbackKeyPath forces the byte-tuple fallback (the
+// cardinality product overflows 64 bits) and checks it still groups
+// byte-identically.
+func TestEncodedFallbackKeyPath(t *testing.T) {
+	const nQI = 8
+	attrs := make([]table.Attribute, 0, nQI+1)
+	hs := hierarchy.Set{}
+	for i := 0; i < nQI; i++ {
+		name := fmt.Sprintf("q%d", i)
+		attrs = append(attrs, table.Attribute{Name: name, Kind: table.Numeric, Min: 0, Max: 1 << 20})
+		hs[name] = hierarchy.MustInterval(name, []int{1, 2, 0})
+	}
+	attrs = append(attrs, table.Attribute{Name: "sens", Kind: table.Categorical, Domain: []string{"a", "b"}})
+	s, err := table.NewSchema(attrs, "sens")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := table.New(s)
+	rng := rand.New(rand.NewSource(11))
+	// 300 distinct values per column: 300^8 ≈ 6.6e19 > 2^64 — the packed
+	// path would overflow, so the builder must take the byte-tuple path.
+	for r := 0; r < 300; r++ {
+		row := make(table.Row, nQI+1)
+		for c := 0; c < nQI; c++ {
+			row[c] = strconv.Itoa(r*7 + c) // all distinct per column
+		}
+		row[nQI] = []string{"a", "b"}[rng.Intn(2)]
+		tab.MustAppend(row)
+	}
+	enc := tab.Encode()
+	chs, err := CompileHierarchies(enc, hs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dims, err := buildDims(enc, chs, Levels{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if packable(dims) {
+		t.Fatal("fixture unexpectedly packable; fallback path not exercised")
+	}
+	for _, levels := range []Levels{{}, {"q0": 1, "q3": 1}, {"q0": 2, "q1": 2, "q2": 2}} {
+		want, err := FromGeneralization(tab, hs, levels)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := FromGeneralizationEncoded(enc, chs, levels)
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireIdentical(t, want, got, fmt.Sprintf("fallback levels %v", levels))
+		fine, err := FromGeneralizationEncoded(enc, chs, Levels{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		coarse, err := Coarsen(fine, enc, chs, levels)
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireIdentical(t, want, coarse, fmt.Sprintf("fallback coarsen %v", levels))
+	}
+}
+
+// TestEncodedSparseSensitiveParity drives the sparse-histogram path (a
+// near-unique sensitive column, cardinality above maxDenseSensitive):
+// per-group histograms must not allocate O(buckets × cardinality) dense
+// slices, and the result stays byte-identical to the string path, for
+// the direct scan and for coarsening.
+func TestEncodedSparseSensitiveParity(t *testing.T) {
+	const rows = 400
+	sdom := make([]string, rows)
+	for i := range sdom {
+		sdom[i] = fmt.Sprintf("s%03d", i)
+	}
+	s, err := table.NewSchema([]table.Attribute{
+		{Name: "Age", Kind: table.Numeric, Min: 0, Max: 99},
+		{Name: "Sex", Kind: table.Categorical, Domain: []string{"M", "F"}},
+		{Name: "sens", Kind: table.Categorical, Domain: sdom},
+	}, "sens")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := hierarchy.Set{
+		"Age": hierarchy.MustInterval("Age", []int{1, 10, 0}),
+		"Sex": hierarchy.NewSuppression("Sex", []string{"M", "F"}),
+	}
+	tab := table.New(s)
+	rng := rand.New(rand.NewSource(3))
+	for r := 0; r < rows; r++ {
+		tab.MustAppend(table.Row{
+			strconv.Itoa(rng.Intn(100)),
+			[]string{"M", "F"}[rng.Intn(2)],
+			sdom[r], // every sensitive value unique
+		})
+	}
+	enc := tab.Encode()
+	if enc.SensitiveDict().Len() <= maxDenseSensitive {
+		t.Fatalf("fixture cardinality %d does not exceed the dense threshold %d",
+			enc.SensitiveDict().Len(), maxDenseSensitive)
+	}
+	chs, err := CompileHierarchies(enc, hs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, levels := range []Levels{{}, {"Age": 1}, {"Age": 2, "Sex": 1}} {
+		want, err := FromGeneralization(tab, hs, levels)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := FromGeneralizationEncoded(enc, chs, levels)
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireIdentical(t, want, got, fmt.Sprintf("sparse levels %v", levels))
+		fine, err := FromGeneralizationEncoded(enc, chs, Levels{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		coarse, err := Coarsen(fine, enc, chs, levels)
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireIdentical(t, want, coarse, fmt.Sprintf("sparse coarsen %v", levels))
+	}
+}
+
+// TestHistogramCachedAndCountsDropped pins the perf fix: Histogram
+// returns the one slice computed at construction, and Count answers from
+// the freq slice after the counts map is dropped.
+func TestHistogramCachedAndCountsDropped(t *testing.T) {
+	bz := FromValues([]string{"a", "a", "b"}, []string{"c"})
+	b := bz.Buckets[0]
+	h1, h2 := b.Histogram(), b.Histogram()
+	if &h1[0] != &h2[0] {
+		t.Fatal("Histogram allocates a fresh slice per call")
+	}
+	if got := b.Count("a"); got != 2 {
+		t.Fatalf("Count(a) = %d, want 2", got)
+	}
+	if got := b.Count("b"); got != 1 {
+		t.Fatalf("Count(b) = %d, want 1", got)
+	}
+	if got := b.Count("zzz"); got != 0 {
+		t.Fatalf("Count(zzz) = %d, want 0", got)
+	}
+}
+
+// TestLevelsValidation pins the bugfix: typo'd attribute names and
+// out-of-range levels are errors naming the offending attribute, on both
+// paths, instead of being silently defaulted.
+func TestLevelsValidation(t *testing.T) {
+	tab := paperTable(t)
+	hs := paperHierarchies()
+	enc := tab.Encode()
+	chs, err := CompileHierarchies(enc, hs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name   string
+		levels Levels
+		frag   string
+	}{
+		{"unknown attribute", Levels{"Zap": 1}, `"Zap"`},
+		{"unknown attribute at level 0", Levels{"Zap": 0}, `"Zap"`},
+		{"sensitive attribute", Levels{"Disease": 1}, `"Disease"`},
+		{"negative level", Levels{"Zip": -1}, `"Zip"`},
+		{"level out of range", Levels{"Age": 5}, `"Age"`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, errLegacy := FromGeneralization(tab, hs, tc.levels)
+			_, errEncoded := FromGeneralizationEncoded(enc, chs, tc.levels)
+			for path, err := range map[string]error{"legacy": errLegacy, "encoded": errEncoded} {
+				if err == nil {
+					t.Fatalf("%s path accepted levels %v", path, tc.levels)
+				}
+				if !strings.Contains(err.Error(), tc.frag) {
+					t.Fatalf("%s path error %q does not name %s", path, err, tc.frag)
+				}
+			}
+		})
+	}
+}

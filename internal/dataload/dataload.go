@@ -12,6 +12,7 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"sync"
 
 	"ckprivacy/internal/bucket"
 	"ckprivacy/internal/dataset/adult"
@@ -37,6 +38,30 @@ type Bundle struct {
 	// PersonName maps a row id to a display name; nil falls back to the
 	// row index.
 	PersonName func(int) string
+
+	// The columnar substrate is derived lazily, once per bundle, and
+	// shared by every subsequent Bucketize call. Bundles are passed by
+	// pointer everywhere; copying one by value would copy encOnce.
+	encOnce  sync.Once
+	enc      *table.Encoded
+	compiled hierarchy.CompiledSet
+}
+
+// Encoded returns the bundle's dictionary-encoded view and compiled
+// hierarchies, building them on first use. ok is false when the
+// hierarchies fail to compile over the table's values — callers then use
+// the string path, which reports the offending row lazily.
+func (b *Bundle) Encoded() (enc *table.Encoded, chs hierarchy.CompiledSet, ok bool) {
+	b.encOnce.Do(func() {
+		enc := b.Table.Encode()
+		chs, err := bucket.CompileHierarchies(enc, b.Hierarchies)
+		if err != nil {
+			return
+		}
+		b.enc = enc
+		b.compiled = chs
+	})
+	return b.enc, b.compiled, b.enc != nil
 }
 
 // Namer returns a non-nil row-id-to-name function.
@@ -48,10 +73,14 @@ func (b *Bundle) Namer() func(int) string {
 }
 
 // Bucketize partitions the bundle's table at the given levels (nil or
-// empty means DefaultLevels).
+// empty means DefaultLevels), over the bundle's encoded view when it is
+// available.
 func (b *Bundle) Bucketize(levels bucket.Levels) (*bucket.Bucketization, error) {
 	if len(levels) == 0 {
 		levels = b.DefaultLevels
+	}
+	if enc, chs, ok := b.Encoded(); ok {
+		return bucket.FromGeneralizationEncoded(enc, chs, levels)
 	}
 	return bucket.FromGeneralization(b.Table, b.Hierarchies, levels)
 }

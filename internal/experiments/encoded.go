@@ -1,0 +1,22 @@
+package experiments
+
+import (
+	"ckprivacy/internal/bucket"
+	"ckprivacy/internal/hierarchy"
+	"ckprivacy/internal/table"
+)
+
+// bucketizeEncoded runs a one-shot bucketization over a freshly encoded
+// columnar view, falling back to the string path when the hierarchies do
+// not compile over the table's values (so lazy per-row errors surface
+// exactly as before). Sweeps that bucketize many nodes go through
+// anonymize.Problem instead, which encodes once and coarsens
+// incrementally.
+func bucketizeEncoded(tab *table.Table, hs hierarchy.Set, levels bucket.Levels) (*bucket.Bucketization, error) {
+	enc := tab.Encode()
+	chs, err := bucket.CompileHierarchies(enc, hs)
+	if err != nil {
+		return bucket.FromGeneralization(tab, hs, levels)
+	}
+	return bucket.FromGeneralizationEncoded(enc, chs, levels)
+}

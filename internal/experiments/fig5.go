@@ -68,7 +68,7 @@ func RunFig5Config(tab *table.Table, cfg Fig5Config) (*Fig5Result, error) {
 	if maxK < 0 {
 		return nil, fmt.Errorf("experiments: negative maxK")
 	}
-	bz, err := bucket.FromGeneralization(tab, adult.Hierarchies(), Fig5Levels())
+	bz, err := bucketizeEncoded(tab, adult.Hierarchies(), Fig5Levels())
 	if err != nil {
 		return nil, fmt.Errorf("experiments: fig5 bucketize: %w", err)
 	}

@@ -1,0 +1,108 @@
+package hierarchy
+
+import "fmt"
+
+// Compiled is a hierarchy specialized to one concrete ground domain (a
+// table column's dictionary, in code order): for every level, a dense
+// lookup table from a level-0 code to its generalized code, plus the
+// interned string of every generalized code. Generalizing a value becomes
+// one array index instead of a map lookup and string churn; the strings
+// are only touched when a bucket key is materialized, once per bucket
+// rather than once per row.
+//
+// Invariants:
+//   - Lut(0) is the identity and Value(0, c) == domain[c].
+//   - Value(l, Lut(l)[c]) == h.Generalize(domain[c], l) for every level l
+//     and ground code c — compiled generalization is byte-identical to the
+//     interface it was compiled from.
+//   - Generalized codes are assigned by first appearance in ground-code
+//     order, so compilation is deterministic.
+type Compiled struct {
+	name string
+	// lut[l][c] is the generalized code of ground code c at level l.
+	lut [][]uint32
+	// values[l][g] is the string of generalized code g at level l.
+	values [][]string
+}
+
+// Compile specializes h to the ground domain (one string per level-0
+// code, in code order). It fails if h cannot generalize some domain value
+// at some level — the same values and levels the row-by-row path would
+// fail on, surfaced eagerly — or if the hierarchy violates the
+// nested-coarsening law over this domain (values equal at level l must
+// stay equal at every level above). The built-in hierarchies enforce the
+// law at construction, but Hierarchy is an open interface; the
+// incremental coarsening derivation is only exact under the law, so a
+// violating custom implementation must fail compilation (sending callers
+// to the per-node scan paths, which are correct regardless) rather than
+// silently mis-partition.
+func Compile(h Hierarchy, domain []string) (*Compiled, error) {
+	levels := h.Levels()
+	c := &Compiled{
+		name:   h.Name(),
+		lut:    make([][]uint32, levels),
+		values: make([][]string, levels),
+	}
+	// Level 0 is the identity over the ground domain.
+	id := make([]uint32, len(domain))
+	for i := range id {
+		id[i] = uint32(i)
+	}
+	c.lut[0] = id
+	c.values[0] = append([]string(nil), domain...)
+	for l := 1; l < levels; l++ {
+		lut := make([]uint32, len(domain))
+		interned := make(map[string]uint32)
+		var vals []string
+		for i, v := range domain {
+			g, err := h.Generalize(v, l)
+			if err != nil {
+				return nil, fmt.Errorf("hierarchy: compiling %s level %d: %w", h.Name(), l, err)
+			}
+			code, ok := interned[g]
+			if !ok {
+				code = uint32(len(vals))
+				vals = append(vals, g)
+				interned[g] = code
+			}
+			lut[i] = code
+		}
+		// Nesting check: the level-l code must be a function of the
+		// level-(l-1) code.
+		prev := c.lut[l-1]
+		coarser := make(map[uint32]uint32, len(vals))
+		for i := range domain {
+			if g, ok := coarser[prev[i]]; ok && g != lut[i] {
+				return nil, fmt.Errorf(
+					"hierarchy: compiling %s: level %d splits %q (into %q and %q) — levels are not nested coarsenings",
+					h.Name(), l, c.values[l-1][prev[i]], vals[g], vals[lut[i]])
+			}
+			coarser[prev[i]] = lut[i]
+		}
+		c.lut[l] = lut
+		c.values[l] = vals
+	}
+	return c, nil
+}
+
+// Name returns the attribute name the compiled hierarchy applies to.
+func (c *Compiled) Name() string { return c.name }
+
+// Levels returns the number of generalization levels.
+func (c *Compiled) Levels() int { return len(c.lut) }
+
+// Lut returns the level's ground-code → generalized-code table. The
+// returned slice is the compiled backing storage and must not be
+// modified.
+func (c *Compiled) Lut(level int) []uint32 { return c.lut[level] }
+
+// Cardinality returns the number of distinct generalized codes at the
+// level.
+func (c *Compiled) Cardinality(level int) int { return len(c.values[level]) }
+
+// Value decodes a generalized code at the given level.
+func (c *Compiled) Value(level int, code uint32) string { return c.values[level][code] }
+
+// CompiledSet maps attribute names to compiled hierarchies, mirroring Set
+// for the encoded path.
+type CompiledSet map[string]*Compiled

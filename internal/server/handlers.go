@@ -105,6 +105,13 @@ type datasetInfo struct {
 	DefaultLevels   bucket.Levels  `json:"default_levels"`
 	LatticeSize     int            `json:"lattice_size"`
 	CacheEntries    int            `json:"cache_entries"`
+	// Encoded reports whether the dataset was dictionary-encoded at
+	// registration (the columnar fast path every request then computes on).
+	Encoded bool `json:"encoded"`
+	// DictCardinalities is the per-attribute dictionary size — the number
+	// of distinct ground values each column was encoded over. Present only
+	// when Encoded.
+	DictCardinalities map[string]int `json:"dictionary_cardinalities,omitempty"`
 }
 
 func describe(name string, ds *dataset) datasetInfo {
@@ -113,15 +120,18 @@ func describe(name string, ds *dataset) datasetInfo {
 	for _, qi := range b.QI {
 		levels[qi] = b.Hierarchies[qi].Levels()
 	}
+	encoding := ds.problem.Encoding()
 	return datasetInfo{
-		Name:            name,
-		Rows:            b.Table.Len(),
-		Sensitive:       b.Table.Schema.Sensitive().Name,
-		QI:              b.QI,
-		HierarchyLevels: levels,
-		DefaultLevels:   b.DefaultLevels,
-		LatticeSize:     ds.problem.Space().Size(),
-		CacheEntries:    ds.problem.CacheStats().Entries,
+		Name:              name,
+		Rows:              b.Table.Len(),
+		Sensitive:         b.Table.Schema.Sensitive().Name,
+		QI:                b.QI,
+		HierarchyLevels:   levels,
+		DefaultLevels:     b.DefaultLevels,
+		LatticeSize:       ds.problem.Space().Size(),
+		CacheEntries:      ds.problem.CacheStats().Entries,
+		Encoded:           encoding.Enabled,
+		DictCardinalities: encoding.Cardinalities,
 	}
 }
 

@@ -18,7 +18,10 @@ var errAlreadyRegistered = errors.New("already registered")
 // hierarchies, QI) and a long-lived anonymize.Problem whose sharded
 // bucketization cache persists across requests. All disclosure math on the
 // dataset flows through the problem so repeated generalizations are
-// materialized once.
+// materialized once. The problem also dictionary-encodes the table and
+// compiles the hierarchies when it is built — i.e. exactly once, at
+// registration — so every subsequent job/check/disclosure request runs on
+// the columnar substrate without re-encoding.
 type dataset struct {
 	bundle  *dataload.Bundle
 	problem *anonymize.Problem

@@ -1,0 +1,118 @@
+package table
+
+// This file implements the columnar, dictionary-encoded view of a table.
+// The row-oriented Table remains the source of truth and the reference
+// representation; Encoded is a derived, immutable snapshot built once and
+// then shared freely across goroutines. Everything downstream that scans
+// tuples repeatedly (bucketization, the lattice searches, the serving
+// daemon's per-dataset warm state) computes over the code columns instead
+// of the row strings.
+//
+// Invariants:
+//   - Dicts[c].Value(Cols[c][i]) == Table.Rows[i][c] for every row i and
+//     column c: decoding always reproduces the exact original strings.
+//   - Codes are assigned in order of first appearance during the row scan,
+//     so encoding is deterministic for a given table.
+//   - An Encoded view is a snapshot: rows appended to the Table after
+//     Encode are not reflected. Callers encode once per loaded table.
+
+// Dict is a bidirectional dictionary between one column's value strings
+// and dense uint32 codes (0..Len()-1).
+type Dict struct {
+	values []string
+	index  map[string]uint32
+}
+
+// newDict builds an empty dictionary with capacity for n distinct values.
+func newDict(n int) *Dict {
+	return &Dict{index: make(map[string]uint32, n)}
+}
+
+// intern returns the code for v, assigning the next free code on first
+// sight.
+func (d *Dict) intern(v string) uint32 {
+	if c, ok := d.index[v]; ok {
+		return c
+	}
+	c := uint32(len(d.values))
+	d.values = append(d.values, v)
+	d.index[v] = c
+	return c
+}
+
+// Code returns the code of v and whether v occurs in the column.
+func (d *Dict) Code(v string) (uint32, bool) {
+	c, ok := d.index[v]
+	return c, ok
+}
+
+// Value decodes a code back to its string. It panics on out-of-range
+// codes, mirroring slice indexing.
+func (d *Dict) Value(c uint32) string { return d.values[c] }
+
+// Values returns the dictionary's strings in code order. The returned
+// slice is the dictionary's backing storage and must not be modified.
+func (d *Dict) Values() []string { return d.values }
+
+// Len returns the number of distinct values (the column's cardinality).
+func (d *Dict) Len() int { return len(d.values) }
+
+// Encoded is the columnar, dictionary-encoded view of a Table: one Dict
+// and one dense code slice per column, in schema order. The sensitive
+// column is encoded over its own code space like any other column; its
+// dictionary doubles as the sensitive-value code space for per-bucket
+// histograms.
+type Encoded struct {
+	// Table is the row-oriented source the view was built from.
+	Table *Table
+	// Dicts holds one dictionary per column, in schema order.
+	Dicts []*Dict
+	// Cols holds one dense code column per attribute: Cols[c][i] is the
+	// code of row i's value in column c.
+	Cols [][]uint32
+}
+
+// Encode builds the columnar view in one pass over the rows.
+func (t *Table) Encode() *Encoded {
+	nCols := len(t.Schema.Attrs)
+	e := &Encoded{
+		Table: t,
+		Dicts: make([]*Dict, nCols),
+		Cols:  make([][]uint32, nCols),
+	}
+	for c := 0; c < nCols; c++ {
+		e.Dicts[c] = newDict(16)
+		e.Cols[c] = make([]uint32, len(t.Rows))
+	}
+	for i, r := range t.Rows {
+		for c, v := range r {
+			e.Cols[c][i] = e.Dicts[c].intern(v)
+		}
+	}
+	return e
+}
+
+// Rows returns the number of encoded rows.
+func (e *Encoded) Rows() int {
+	if len(e.Cols) == 0 {
+		return 0
+	}
+	return len(e.Cols[0])
+}
+
+// SensitiveDict returns the sensitive column's dictionary — the code
+// space per-bucket sensitive histograms are counted over.
+func (e *Encoded) SensitiveDict() *Dict { return e.Dicts[e.Table.Schema.SensitiveIndex] }
+
+// SensitiveCol returns the sensitive column's code slice.
+func (e *Encoded) SensitiveCol() []uint32 { return e.Cols[e.Table.Schema.SensitiveIndex] }
+
+// Cardinalities returns the per-attribute dictionary sizes keyed by
+// attribute name (the serving layer reports these on /v1/datasets).
+func (e *Encoded) Cardinalities() map[string]int {
+	out := make(map[string]int, len(e.Dicts))
+	for c, d := range e.Dicts {
+		out[e.Table.Schema.Attrs[c].Name] = d.Len()
+	}
+	return out
+}

@@ -1,0 +1,86 @@
+package table
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+func encodedFixture(t *testing.T, rows int) *Table {
+	t.Helper()
+	s, err := NewSchema([]Attribute{
+		{Name: "Zip", Kind: Numeric, Min: 0, Max: 99999},
+		{Name: "Sex", Kind: Categorical, Domain: []string{"M", "F"}},
+		{Name: "Disease", Kind: Categorical, Domain: []string{"flu", "mumps", "cold"}},
+	}, "Disease")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := New(s)
+	diseases := []string{"flu", "mumps", "cold"}
+	sexes := []string{"M", "F"}
+	for i := 0; i < rows; i++ {
+		tab.MustAppend(Row{
+			fmt.Sprintf("%d", 14850+(i%7)),
+			sexes[i%2],
+			diseases[i%3],
+		})
+	}
+	return tab
+}
+
+// TestEncodeRoundTrip pins the core invariant: decoding every code cell
+// reproduces the exact original string.
+func TestEncodeRoundTrip(t *testing.T) {
+	tab := encodedFixture(t, 53)
+	e := tab.Encode()
+	if e.Rows() != tab.Len() {
+		t.Fatalf("Rows = %d, want %d", e.Rows(), tab.Len())
+	}
+	for c := range e.Cols {
+		for i := range e.Cols[c] {
+			if got := e.Dicts[c].Value(e.Cols[c][i]); got != tab.Rows[i][c] {
+				t.Fatalf("col %d row %d: decoded %q, want %q", c, i, got, tab.Rows[i][c])
+			}
+		}
+	}
+}
+
+// TestEncodeDeterministic pins first-appearance code assignment: encoding
+// the same table twice yields identical dictionaries and columns.
+func TestEncodeDeterministic(t *testing.T) {
+	tab := encodedFixture(t, 31)
+	a, b := tab.Encode(), tab.Encode()
+	for c := range a.Dicts {
+		if !reflect.DeepEqual(a.Dicts[c].Values(), b.Dicts[c].Values()) {
+			t.Fatalf("col %d dict differs between encodings", c)
+		}
+		if !reflect.DeepEqual(a.Cols[c], b.Cols[c]) {
+			t.Fatalf("col %d codes differ between encodings", c)
+		}
+	}
+}
+
+func TestEncodedAccessors(t *testing.T) {
+	tab := encodedFixture(t, 30)
+	e := tab.Encode()
+	if got := e.SensitiveDict().Len(); got != 3 {
+		t.Fatalf("sensitive cardinality = %d, want 3", got)
+	}
+	for i, code := range e.SensitiveCol() {
+		if got := e.SensitiveDict().Value(code); got != tab.SensitiveValue(i) {
+			t.Fatalf("sensitive row %d: decoded %q, want %q", i, got, tab.SensitiveValue(i))
+		}
+	}
+	cards := e.Cardinalities()
+	want := map[string]int{"Zip": 7, "Sex": 2, "Disease": 3}
+	if !reflect.DeepEqual(cards, want) {
+		t.Fatalf("Cardinalities = %v, want %v", cards, want)
+	}
+	if _, ok := e.Dicts[1].Code("M"); !ok {
+		t.Fatal("Code(M) not found")
+	}
+	if _, ok := e.Dicts[1].Code("nope"); ok {
+		t.Fatal("Code(nope) unexpectedly found")
+	}
+}
