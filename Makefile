@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet fmt fmt-check test race bench bench-json bench-compare examples serve lint
+.PHONY: all build vet fmt fmt-check test race bench bench-json bench-compare examples serve lint docs-check
 
 all: build vet fmt-check test
 
@@ -38,6 +38,14 @@ GOVULNCHECK_VERSION ?= v1.1.4
 lint:
 	$(GO) run honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION) ./...
 	$(GO) run golang.org/x/vuln/cmd/govulncheck@$(GOVULNCHECK_VERSION) ./...
+
+## docs-check keeps the prose honest (mirrors the CI docs job): every
+## relative markdown link in README.md + docs/ must resolve, and every
+## exported symbol of the public package and internal/server must carry a
+## doc comment. The same tool output gates CI, so broken links and bare
+## exported names fail the build, not a reviewer's patience.
+docs-check:
+	$(GO) run ./internal/tools/docscheck
 
 ## examples builds and smoke-runs every examples/* program (mirrors the CI
 ## examples job; sizes scaled down to stay fast).
@@ -76,7 +84,7 @@ bench-json:
 ## fetched on demand via `go run` like the lint tools; x/perf publishes no
 ## semver tags, so the version floats unless BENCHSTAT_VERSION is pinned
 ## to a pseudo-version.
-BENCH_PATTERN ?= BenchmarkBucketize|BenchmarkEncodeTable|BenchmarkLatticeSweepPath
+BENCH_PATTERN ?= BenchmarkBucketize|BenchmarkEncodeTable|BenchmarkLatticeSweepPath|BenchmarkAppendSmall
 BENCHSTAT_VERSION ?= latest
 BENCH_COUNT ?= 6
 

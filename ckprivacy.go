@@ -94,8 +94,14 @@ type (
 	CompiledHierarchies = hierarchy.CompiledSet
 )
 
+// TableAppendDelta reports what one EncodedTable.Append changed: where
+// the appended rows start and which dictionary codes each column gained.
+type TableAppendDelta = table.AppendDelta
+
 // EncodeTable builds the columnar dictionary-encoded view of a table in
-// one pass. Decoding always reproduces the exact original strings.
+// one pass. Decoding always reproduces the exact original strings. The
+// view is an append-only master: EncodedTable.Append streams rows in and
+// EncodedTable.Snapshot pins immutable views for concurrent readers.
 func EncodeTable(t *Table) *EncodedTable { return t.Encode() }
 
 // CompileHierarchies lowers every hierarchy onto the encoded table's
@@ -140,6 +146,16 @@ func BucketizeEncoded(enc *EncodedTable, chs CompiledHierarchies, levels Levels)
 // must be component-wise ≤ the requested ones.
 func CoarsenBucketization(fine *Bucketization, enc *EncodedTable, chs CompiledHierarchies, levels Levels) (*Bucketization, error) {
 	return bucket.Coarsen(fine, enc, chs, levels)
+}
+
+// ExtendBucketization patches a bucketization of the table's first start
+// rows with the rows appended since: only rows [start, enc.Rows()) are
+// re-keyed and merged, copy-on-write, in O(appended + buckets). The
+// result is byte-identical to BucketizeEncoded on the grown table. enc
+// and chs must reflect the post-append state (EncodedTable.Append plus
+// CompiledHierarchy.Extend for columns that gained values).
+func ExtendBucketization(old *Bucketization, enc *EncodedTable, chs CompiledHierarchies, levels Levels, start int) (*Bucketization, error) {
+	return bucket.AppendRows(old, enc, chs, levels, start)
 }
 
 // Worst-case disclosure (the paper's core contribution).
@@ -311,6 +327,17 @@ func WithLegacyBucketize() ProblemOption { return anonymize.WithLegacyBucketize(
 // ProblemEncoding describes a problem's columnar state (whether the
 // encoded path is active and the per-attribute dictionary cardinalities).
 type ProblemEncoding = anonymize.EncodingInfo
+
+// ProblemSnapshot is one pinned version of a Problem: every Bucketize
+// and search on it computes over exactly the rows, dictionaries and warm
+// caches of that version, regardless of concurrent Appends. Obtain one
+// with Problem.Snapshot.
+type ProblemSnapshot = anonymize.Snapshot
+
+// ProblemAppendResult reports what one Problem.Append changed: the new
+// version, where the appended rows start, per-attribute new dictionary
+// codes, and how many warm cache entries were patched vs invalidated.
+type ProblemAppendResult = anonymize.AppendResult
 
 // Utility metrics.
 type (

@@ -6,17 +6,22 @@
 //
 // Endpoints:
 //
-//	POST   /v1/datasets       register a table + hierarchies under a name
-//	GET    /v1/datasets       list registered datasets
-//	GET    /v1/datasets/{x}   describe one dataset
-//	POST   /v1/disclosure     synchronous MaxDisclosure (optional witness)
-//	POST   /v1/check          synchronous privacy-criterion verdict
-//	POST   /v1/estimate       Monte-Carlo posterior for a specific formula
-//	POST   /v1/anonymize      submit an async lattice-search job (202)
-//	GET    /v1/jobs/{id}      poll job status/result
-//	DELETE /v1/jobs/{id}      cancel a queued or running job
-//	GET    /healthz           liveness
-//	GET    /metrics           Prometheus text format
+//	POST   /v1/datasets                register a table + hierarchies under a name
+//	GET    /v1/datasets                list registered datasets
+//	GET    /v1/datasets/{x}            describe one dataset (version + rows)
+//	POST   /v1/datasets/{x}/rows       append rows; bumps the dataset version,
+//	                                   patches warm caches incrementally
+//	POST   /v1/datasets/{x}/releases   record a published generalization
+//	GET    /v1/datasets/{x}/releases   sequential-release intersection audit
+//	POST   /v1/disclosure              synchronous MaxDisclosure (optional witness)
+//	POST   /v1/check                   synchronous privacy-criterion verdict
+//	POST   /v1/estimate                Monte-Carlo posterior for a specific formula
+//	POST   /v1/anonymize               submit an async lattice-search job (202)
+//	GET    /v1/jobs/{id}               poll job status/result
+//	DELETE /v1/jobs/{id}               cancel a queued or running job
+//	GET    /v1/openapi.yaml            the OpenAPI 3 spec (docs/openapi.yaml)
+//	GET    /healthz                    liveness
+//	GET    /metrics                    Prometheus text format
 //
 // The daemon shuts down gracefully on SIGINT/SIGTERM: the listener stops
 // accepting, in-flight requests finish, and queued anonymization jobs are
@@ -61,6 +66,7 @@ func run(args []string) error {
 		jobQueue      = fs.Int("job-queue", 16, "bounded pending-job queue size")
 		searchWorkers = fs.Int("search-workers", 1, "lattice worker budget per search (<= 0 means one per CPU core)")
 		memoMaxMB     = fs.Int("memo-max-mb", 0, "byte bound, in MiB, of each disclosure-engine memo (0 means the 64 MiB default; negative disables the bound)")
+		maxReleases   = fs.Int("max-releases", 16, "retained recorded releases per dataset for the sequential-release audit")
 		preload       = fs.String("preload", "", "comma-separated built-in datasets to register at boot (adult, hospital)")
 		preloadN      = fs.Int("preload-n", 0, "synthetic row count for a preloaded adult dataset (0 means the paper's 45222)")
 		drainTimeout  = fs.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight jobs")
@@ -79,6 +85,7 @@ func run(args []string) error {
 		JobQueueSize:  *jobQueue,
 		SearchWorkers: *searchWorkers,
 		MemoMaxBytes:  int64(*memoMaxMB) << 20,
+		MaxReleases:   *maxReleases,
 	})
 	for _, name := range strings.Split(*preload, ",") {
 		name = strings.TrimSpace(name)

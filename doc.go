@@ -57,14 +57,31 @@
 // are byte-identical — same bucket keys, tuple order, histograms, search
 // results and disclosure values — under randomized parity tests.
 //
+// Data streams in rather than arriving once: EncodedTable.Append grows
+// the dictionaries and code columns in place, and Problem.Append patches
+// every warm cached bucketization with just the appended rows — O(rows
+// appended + buckets) per warm lattice node instead of a full re-encode
+// and re-bucketize — while bumping the problem's version.
+// Problem.Snapshot pins one version (rows, dictionaries, caches) for the
+// duration of a search, so long-running jobs and concurrent appends
+// never observe each other; randomized parity tests pin that
+// append-then-search is byte-identical to a from-scratch rebuild on the
+// concatenated table. The engine memo needs no append-time maintenance
+// at all: it is keyed by histogram content, not dataset identity.
+//
 // The library also serves: NewServer builds the resident HTTP
 // disclosure-auditing service behind the cmd/ckprivacyd daemon — a dataset
 // registry (register a table + hierarchies once, reference by name),
-// synchronous disclosure and safety-verdict endpoints, asynchronous
-// lattice-search jobs on a bounded queue, and Prometheus-format metrics,
-// all sharing warm, bounded engine memos (one for registered datasets,
-// one isolating inline client-chosen bucketizations) and per-dataset
-// bucketization caches across requests.
+// streaming row appends with monotonically increasing dataset versions
+// (POST /v1/datasets/{name}/rows), a sequential-release audit that
+// scores the intersection attack across recorded releases
+// (/v1/datasets/{name}/releases), synchronous disclosure and
+// safety-verdict endpoints, asynchronous lattice-search jobs on a
+// bounded queue (each pinned to the version it started on), an OpenAPI 3
+// spec at /v1/openapi.yaml, and Prometheus-format metrics, all sharing
+// warm, bounded engine memos (one for registered datasets, one isolating
+// inline client-chosen bucketizations) and per-dataset bucketization
+// caches across requests.
 //
 // The packages under internal/ hold the implementation: internal/core (the
 // disclosure DP), internal/bucket, internal/hierarchy, internal/lattice,

@@ -1,0 +1,16 @@
+// Package docs holds the repository's documentation artifacts that ship
+// inside the binary: the OpenAPI 3 specification of the ckprivacyd HTTP
+// API, which the daemon serves at GET /v1/openapi.yaml. Keeping the spec
+// in docs/ next to ARCHITECTURE.md and PAPER-MAP.md makes it reviewable
+// as documentation, while the go:embed below makes it the same bytes the
+// server hands to clients — a server test asserts every registered route
+// appears in it, so spec and mux cannot drift apart silently.
+package docs
+
+import _ "embed"
+
+// OpenAPI is the OpenAPI 3 specification for every ckprivacyd endpoint,
+// verbatim from docs/openapi.yaml.
+//
+//go:embed openapi.yaml
+var OpenAPI []byte

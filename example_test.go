@@ -94,6 +94,114 @@ func ExampleUniverse_Express() {
 	// Output: models: 2
 }
 
+// streamSchema is a tiny two-column schema for the append examples.
+func streamSchema() (*ckprivacy.Schema, ckprivacy.Hierarchies) {
+	s, err := ckprivacy.NewSchema([]ckprivacy.Attribute{
+		{Name: "Age", Kind: ckprivacy.Numeric, Min: 0, Max: 99},
+		{Name: "Disease", Kind: ckprivacy.Categorical,
+			Domain: []string{"flu", "mumps", "gout"}},
+	}, "Disease")
+	if err != nil {
+		panic(err)
+	}
+	age, err := ckprivacy.NewIntervalHierarchy("Age", []int{1, 10, 0})
+	if err != nil {
+		panic(err)
+	}
+	return s, ckprivacy.Hierarchies{"Age": age}
+}
+
+func ExampleEncodedTable_Append() {
+	s, hs := streamSchema()
+	tab := ckprivacy.NewTable(s)
+	tab.MustAppend(ckprivacy.Row{"23", "flu"})
+	tab.MustAppend(ckprivacy.Row{"27", "mumps"})
+
+	// Encode once; the encoded view is an append-only master.
+	enc := ckprivacy.EncodeTable(tab)
+	chs, err := ckprivacy.CompileHierarchies(enc, hs)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	before, _ := ckprivacy.BucketizeEncoded(enc, chs, ckprivacy.Levels{"Age": 1})
+
+	// Stream two more rows in: dictionaries and code columns grow in
+	// place, and the delta names every new dictionary code.
+	delta, err := enc.Append([]ckprivacy.Row{{"24", "flu"}, {"61", "gout"}})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("appended rows [%d, %d), new Disease codes: %d\n",
+		delta.Start, delta.Rows, delta.NewValueCount(1))
+
+	// The Age column gained dictionary codes, so its compiled hierarchy
+	// must be extended over the grown domain (copy-on-write: snapshots of
+	// the old state keep the original).
+	if delta.NewValueCount(0) > 0 {
+		ext, err := chs["Age"].Extend(hs["Age"], enc.Dicts[0].Values())
+		if err != nil {
+			fmt.Println(err)
+			return
+		}
+		chs["Age"] = ext
+	}
+
+	// Patch the old bucketization with just the appended rows — the
+	// result is byte-identical to rebucketizing the grown table.
+	after, err := ckprivacy.ExtendBucketization(before, enc, chs, ckprivacy.Levels{"Age": 1}, delta.Start)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	for _, b := range after.Buckets {
+		fmt.Printf("%s: %d tuples\n", b.Key, b.Size())
+	}
+	// Output:
+	// appended rows [2, 4), new Disease codes: 1
+	// 20-29: 3 tuples
+	// 60-69: 1 tuples
+}
+
+func ExampleProblem_Append() {
+	s, hs := streamSchema()
+	tab := ckprivacy.NewTable(s)
+	for _, r := range []ckprivacy.Row{{"23", "flu"}, {"27", "mumps"}, {"31", "flu"}} {
+		tab.MustAppend(r)
+	}
+	p, err := ckprivacy.NewProblem(tab, hs, []string{"Age"})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+
+	// Pin version 1: this snapshot keeps answering over the original
+	// three rows no matter how the problem grows.
+	snap := p.Snapshot()
+
+	res, err := p.Append([]ckprivacy.Row{{"24", "gout"}, {"65", "flu"}})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("version %d, rows %d\n", res.Version, res.Rows)
+	fmt.Printf("pinned snapshot: version %d, rows %d\n", snap.Version(), snap.Rows())
+
+	// Searches on the problem use the current version; searches on the
+	// snapshot use the pinned one.
+	node, ok, _, err := p.ChainSearch(p.CKSafety(0.9, 1))
+	if err != nil || !ok {
+		fmt.Println(ok, err)
+		return
+	}
+	fmt.Println("safe node on v2:", node)
+	// Output:
+	// version 2, rows 5
+	// pinned snapshot: version 1, rows 3
+	// safe node on v2: [2]
+}
+
 func ExampleNegationMaxDisclosure() {
 	bz := fig3Example()
 	d, err := ckprivacy.NegationMaxDisclosure(bz, 1)

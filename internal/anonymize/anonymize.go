@@ -3,10 +3,17 @@
 // full-domain generalization lattice for minimally sanitized bucketizations
 // (§3.4 of the paper) via naive monotone search, Incognito, or chain binary
 // search, and ranks results by a utility metric.
+//
+// A Problem is versioned: Append streams new rows into it, patching the
+// warm bucketization cache incrementally, while Snapshot pins one version
+// for the duration of a search, so long-running jobs and concurrent
+// appends never observe each other.
 package anonymize
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"ckprivacy/internal/bucket"
 	"ckprivacy/internal/core"
@@ -18,9 +25,35 @@ import (
 	"ckprivacy/internal/utility"
 )
 
+// state is one immutable version of a problem's data: a pinned row view,
+// the (optional) columnar substrate at that version, and the warm caches
+// built over it. Append never mutates a state — it builds the successor
+// and swaps the problem's current-state pointer, so every Snapshot keeps
+// computing on exactly the version it pinned.
+type state struct {
+	// version numbers the states, starting at 1 for the freshly built
+	// problem and incremented by every non-empty Append.
+	version int64
+	// tab is the pinned row view: exactly the rows of this version, backed
+	// by (a prefix of) the master table's storage.
+	tab *table.Table
+	// enc and compiled are the columnar substrate pinned at this version;
+	// nil when the problem runs the legacy string path.
+	enc      *table.Encoded
+	compiled hierarchy.CompiledSet
+	// cache holds the version's materialized bucketizations; sources
+	// indexes them by full level vector for the coarsening derivation.
+	cache   *bucketizeCache
+	sources *coarsenIndex
+}
+
 // Problem describes one anonymization task.
 type Problem struct {
-	Table       *table.Table
+	// Table is the master table; Append grows it in place. Read it through
+	// Snapshot (or Problem methods, which pin a snapshot per call) when
+	// appends may run concurrently.
+	Table *table.Table
+	// Hierarchies generalize the quasi-identifier attributes.
 	Hierarchies hierarchy.Set
 	// QI lists the quasi-identifier attribute names, fixing the lattice's
 	// dimension order.
@@ -31,21 +64,14 @@ type Problem struct {
 	memoBytes int64
 	legacy    bool
 
-	cache  *bucketizeCache
 	engine *core.Engine
 
-	// enc and compiled are the columnar substrate, built once in
-	// NewProblem: the dictionary-encoded table view and the per-attribute
-	// generalization LUTs. When enc is nil (WithLegacyBucketize, or a
-	// table/hierarchy pair that fails to compile eagerly), every
-	// bucketization falls back to the row-by-row string path.
-	enc      *table.Encoded
-	compiled hierarchy.CompiledSet
-	// sources indexes materialized bucketizations by their full level
-	// vector so a cache miss can be answered by coarsening the
-	// finest-grained compatible bucketization already built, instead of
-	// rescanning the table.
-	sources *coarsenIndex
+	// master is the append-only encoded view shared by all versions; nil
+	// when the problem runs the legacy string path. appendMu serializes
+	// Append; cur is the atomically swapped current version.
+	master   *table.Encoded
+	appendMu sync.Mutex
+	cur      atomic.Pointer[state]
 }
 
 // Option configures a Problem at construction.
@@ -115,13 +141,20 @@ func NewProblem(t *table.Table, hs hierarchy.Set, qi []string, opts ...Option) (
 		QI:          append([]string(nil), qi...),
 		space:       space,
 		workers:     1,
-		cache:       newBucketizeCache(),
 	}
 	for _, opt := range opts {
 		opt(p)
 	}
 	if p.engine == nil {
 		p.engine = core.NewEngineWithConfig(core.EngineConfig{MemoMaxBytes: p.memoBytes})
+	}
+	// The version-1 row view is pinned ([:n:n]) on every path — including
+	// the legacy one — so a snapshot taken before the first Append can
+	// never observe rows the master table grows by.
+	st := &state{
+		version: 1,
+		tab:     &table.Table{Schema: t.Schema, Rows: t.Rows[:len(t.Rows):len(t.Rows)]},
+		cache:   newBucketizeCache(),
 	}
 	if !p.legacy {
 		// Encode once per problem; every bucketization, search and serving
@@ -131,11 +164,14 @@ func NewProblem(t *table.Table, hs hierarchy.Set, qi []string, opts ...Option) (
 		// fall back to the reference path to preserve those semantics.
 		enc := t.Encode()
 		if chs, err := bucket.CompileHierarchies(enc, hs); err == nil {
-			p.enc = enc
-			p.compiled = chs
-			p.sources = &coarsenIndex{}
+			p.master = enc
+			st.enc = enc.Snapshot()
+			st.tab = st.enc.Table
+			st.compiled = chs
+			st.sources = &coarsenIndex{}
 		}
 	}
+	p.cur.Store(st)
 	return p, nil
 }
 
@@ -149,18 +185,22 @@ type EncodingInfo struct {
 }
 
 // Encoding reports whether the problem computes on the encoded substrate
-// and, if so, the per-attribute dictionary cardinalities.
+// and, if so, the current version's per-attribute dictionary
+// cardinalities.
 func (p *Problem) Encoding() EncodingInfo {
-	if p.enc == nil {
+	st := p.cur.Load()
+	if st.enc == nil {
 		return EncodingInfo{}
 	}
-	return EncodingInfo{Enabled: true, Cardinalities: p.enc.Cardinalities()}
+	return EncodingInfo{Enabled: true, Cardinalities: st.enc.Cardinalities()}
 }
 
 // Engine returns the problem-scoped disclosure engine: a bounded,
 // concurrency-safe MINIMIZE1 memo sized by WithMemoBytes that callers
 // should wire into (c,k)-safety criteria checked against this problem, so
 // lattice searches share warm DP state without growing without bound.
+// The engine spans versions — its memo is keyed by histogram content, so
+// appends never require invalidating it.
 func (p *Problem) Engine() *core.Engine { return p.engine }
 
 // CKSafety builds the paper's (c,k)-safety criterion wired to the
@@ -172,10 +212,18 @@ func (p *Problem) CKSafety(c float64, k int) privacy.CKSafety {
 // Space returns the full-domain generalization lattice.
 func (p *Problem) Space() lattice.Space { return p.space }
 
-// CacheStats snapshots the problem's bucketization-cache counters; a
-// long-lived Problem shared across requests reports its warm-state
-// effectiveness through this.
-func (p *Problem) CacheStats() CacheStats { return p.cache.stats() }
+// CacheStats snapshots the current version's bucketization-cache counters
+// (hit/miss totals are carried across appends, so they are cumulative for
+// the problem's lifetime); a long-lived Problem shared across requests
+// reports its warm-state effectiveness through this.
+func (p *Problem) CacheStats() CacheStats { return p.cur.Load().cache.stats() }
+
+// Version returns the problem's current dataset version: 1 at
+// construction, incremented by every non-empty Append.
+func (p *Problem) Version() int64 { return p.cur.Load().version }
+
+// Rows returns the current version's row count.
+func (p *Problem) Rows() int { return p.cur.Load().tab.Len() }
 
 // NodeForLevels converts a per-attribute level assignment into a lattice
 // node in the problem's QI order. Attributes absent from levels stay at
@@ -207,26 +255,54 @@ func (p *Problem) NodeForLevels(levels bucket.Levels) (lattice.Node, error) {
 // Workers returns the resolved worker budget (at least 1).
 func (p *Problem) Workers() int { return p.workers }
 
+// Snapshot pins the problem's current version: every Bucketize and search
+// on the returned Snapshot computes over exactly the rows, dictionaries
+// and warm caches of that version, regardless of concurrent Appends. This
+// is what lets a long-running anonymization job report a consistent
+// result (and its version) while the dataset keeps growing under it.
+func (p *Problem) Snapshot() *Snapshot { return &Snapshot{p: p, st: p.cur.Load()} }
+
+// Snapshot is one pinned version of a Problem. It is safe for concurrent
+// use; all methods are reads of immutable state plus sharded-cache fills.
+type Snapshot struct {
+	p  *Problem
+	st *state
+}
+
+// Version returns the pinned dataset version.
+func (s *Snapshot) Version() int64 { return s.st.version }
+
+// Rows returns the pinned version's row count.
+func (s *Snapshot) Rows() int { return s.st.tab.Len() }
+
+// Table returns the pinned row view. It never changes, even while the
+// problem's master table grows.
+func (s *Snapshot) Table() *table.Table { return s.st.tab }
+
+// Problem returns the problem the snapshot was taken from.
+func (s *Snapshot) Problem() *Problem { return s.p }
+
 // Bucketize materializes the bucketization at a lattice node. Attributes
 // outside the problem's QI list are fully ignored for grouping only if they
 // are not quasi-identifiers of the schema; schema QI attributes not listed
 // in p.QI are treated as suppressed.
-func (p *Problem) Bucketize(node lattice.Node) (*bucket.Bucketization, error) {
-	if !p.space.Contains(node) {
-		return nil, fmt.Errorf("anonymize: node %v outside lattice %v", node, p.space.Dims())
+func (s *Snapshot) Bucketize(node lattice.Node) (*bucket.Bucketization, error) {
+	if !s.p.space.Contains(node) {
+		return nil, fmt.Errorf("anonymize: node %v outside lattice %v", node, s.p.space.Dims())
 	}
-	subset := make([]int, len(p.QI))
+	subset := make([]int, len(s.p.QI))
 	for i := range subset {
 		subset[i] = i
 	}
-	return p.BucketizeSubset(subset, node)
+	return s.BucketizeSubset(subset, node)
 }
 
 // BucketizeSubset materializes the bucketization induced by a subset of the
 // QI dimensions at the given (subset-aligned) levels; the remaining QI
 // attributes are fully suppressed. Incognito's subset lattices are checked
 // through this path.
-func (p *Problem) BucketizeSubset(subset []int, node lattice.Node) (*bucket.Bucketization, error) {
+func (s *Snapshot) BucketizeSubset(subset []int, node lattice.Node) (*bucket.Bucketization, error) {
+	p := s.p
 	if len(subset) != len(node) {
 		return nil, fmt.Errorf("anonymize: subset/node length mismatch: %d vs %d", len(subset), len(node))
 	}
@@ -242,8 +318,8 @@ func (p *Problem) BucketizeSubset(subset []int, node lattice.Node) (*bucket.Buck
 	// FromGeneralization groups by every non-sensitive attribute, so give
 	// them top-level suppression too when a hierarchy exists, and reject
 	// otherwise.
-	for _, col := range p.Table.Schema.QuasiIdentifiers() {
-		name := p.Table.Schema.Attrs[col].Name
+	for _, col := range s.st.tab.Schema.QuasiIdentifiers() {
+		name := s.st.tab.Schema.Attrs[col].Name
 		if _, listed := levels[name]; listed {
 			continue
 		}
@@ -261,14 +337,14 @@ func (p *Problem) BucketizeSubset(subset []int, node lattice.Node) (*bucket.Buck
 	}
 
 	key := cacheKey(subset, node)
-	if bz, ok := p.cache.get(key); ok {
+	if bz, ok := s.st.cache.get(key); ok {
 		return bz, nil
 	}
-	bz, err := p.materialize(levels)
+	bz, err := s.materialize(levels)
 	if err != nil {
 		return nil, err
 	}
-	p.cache.put(key, bz)
+	s.st.cache.put(key, bz, levels)
 	return bz, nil
 }
 
@@ -278,46 +354,32 @@ func (p *Problem) BucketizeSubset(subset []int, node lattice.Node) (*bucket.Buck
 // bucketization already materialized — O(buckets) instead of O(rows) —
 // and falls back to a single columnar scan; without an encoded view it
 // runs the reference string scan.
-func (p *Problem) materialize(levels bucket.Levels) (*bucket.Bucketization, error) {
-	if p.enc == nil {
-		return bucket.FromGeneralization(p.Table, p.Hierarchies, levels)
+func (s *Snapshot) materialize(levels bucket.Levels) (*bucket.Bucketization, error) {
+	st := s.st
+	if st.enc == nil {
+		return bucket.FromGeneralization(st.tab, s.p.Hierarchies, levels)
 	}
-	vec := p.levelVector(levels)
+	vec := levelVector(st.tab.Schema, levels)
 	var (
 		bz  *bucket.Bucketization
 		err error
 	)
-	if fine := p.sources.best(vec); fine != nil {
-		bz, err = bucket.Coarsen(fine, p.enc, p.compiled, levels)
+	if fine := st.sources.best(vec); fine != nil {
+		bz, err = bucket.Coarsen(fine, st.enc, st.compiled, levels)
 	} else {
-		bz, err = bucket.FromGeneralizationEncoded(p.enc, p.compiled, levels)
+		bz, err = bucket.FromGeneralizationEncoded(st.enc, st.compiled, levels)
 	}
 	if err != nil {
 		return nil, err
 	}
-	p.sources.add(vec, bz)
+	st.sources.add(vec, bz)
 	return bz, nil
 }
 
-// levelVector flattens a complete level assignment into schema QI order —
-// the comparable form the coarsening index orders sources by.
-func (p *Problem) levelVector(levels bucket.Levels) []int {
-	qi := p.Table.Schema.QuasiIdentifiers()
-	vec := make([]int, len(qi))
-	for i, col := range qi {
-		vec[i] = levels[p.Table.Schema.Attrs[col].Name]
-	}
-	return vec
-}
-
-func cacheKey(subset []int, node lattice.Node) string {
-	return lattice.Node(subset).Key() + "/" + node.Key()
-}
-
 // Pred adapts a privacy criterion to a lattice predicate over full nodes.
-func (p *Problem) Pred(crit privacy.Criterion) lattice.Pred {
+func (s *Snapshot) Pred(crit privacy.Criterion) lattice.Pred {
 	return func(n lattice.Node) (bool, error) {
-		bz, err := p.Bucketize(n)
+		bz, err := s.Bucketize(n)
 		if err != nil {
 			return false, err
 		}
@@ -330,28 +392,28 @@ func (p *Problem) Pred(crit privacy.Criterion) lattice.Pred {
 // problem's worker budget. The criterion's Satisfied must be safe for
 // concurrent calls when the budget exceeds 1 (all criteria in
 // internal/privacy are).
-func (p *Problem) MinimalSafe(crit privacy.Criterion) ([]lattice.Node, lattice.Stats, error) {
-	if p.workers == 1 {
-		return lattice.MinimalSatisfying(p.space, p.Pred(crit))
+func (s *Snapshot) MinimalSafe(crit privacy.Criterion) ([]lattice.Node, lattice.Stats, error) {
+	if s.p.workers == 1 {
+		return lattice.MinimalSatisfying(s.p.space, s.Pred(crit))
 	}
-	return lattice.MinimalSatisfyingParallel(p.space, p.Pred(crit), p.workers)
+	return lattice.MinimalSatisfyingParallel(s.p.space, s.Pred(crit), s.p.workers)
 }
 
 // MinimalSafeIncognito returns the same minimal nodes via Incognito's
 // subset-pruned search, parallelized level-wise across same-size subset
 // lattices when the worker budget exceeds 1.
-func (p *Problem) MinimalSafeIncognito(crit privacy.Criterion) ([]lattice.Node, lattice.Stats, error) {
+func (s *Snapshot) MinimalSafeIncognito(crit privacy.Criterion) ([]lattice.Node, lattice.Stats, error) {
 	check := func(subset []int, node lattice.Node) (bool, error) {
-		bz, err := p.BucketizeSubset(subset, node)
+		bz, err := s.BucketizeSubset(subset, node)
 		if err != nil {
 			return false, err
 		}
 		return crit.Satisfied(bz)
 	}
-	if p.workers == 1 {
-		return lattice.Incognito(p.space, check)
+	if s.p.workers == 1 {
+		return lattice.Incognito(s.p.space, check)
 	}
-	return lattice.IncognitoParallel(p.space, check, p.workers)
+	return lattice.IncognitoParallel(s.p.space, check, s.p.workers)
 }
 
 // ChainSearch searches the canonical chain from the most specific to the
@@ -359,17 +421,17 @@ func (p *Problem) MinimalSafeIncognito(crit privacy.Criterion) ([]lattice.Node, 
 // and returns the lowest safe node on that chain, or ok=false when even the
 // top node fails. With a worker budget above 1 the binary search becomes a
 // multi-section search probing `workers` chain positions per round.
-func (p *Problem) ChainSearch(crit privacy.Criterion) (lattice.Node, bool, lattice.Stats, error) {
-	chain := p.space.Chain()
+func (s *Snapshot) ChainSearch(crit privacy.Criterion) (lattice.Node, bool, lattice.Stats, error) {
+	chain := s.p.space.Chain()
 	var (
 		idx   int
 		stats lattice.Stats
 		err   error
 	)
-	if p.workers == 1 {
-		idx, stats, err = lattice.BinarySearchChain(chain, p.Pred(crit))
+	if s.p.workers == 1 {
+		idx, stats, err = lattice.BinarySearchChain(chain, s.Pred(crit))
 	} else {
-		idx, stats, err = lattice.BinarySearchChainParallel(chain, p.Pred(crit), p.workers)
+		idx, stats, err = lattice.BinarySearchChainParallel(chain, s.Pred(crit), s.p.workers)
 	}
 	if err != nil {
 		return nil, false, stats, err
@@ -383,13 +445,13 @@ func (p *Problem) ChainSearch(crit privacy.Criterion) (lattice.Node, bool, latti
 // BestByUtility materializes the candidate nodes and returns the index of
 // the one maximizing the metric (§3.4: pick the minimal safe bucketization
 // with the highest utility), together with its bucketization.
-func (p *Problem) BestByUtility(nodes []lattice.Node, m utility.Metric) (int, *bucket.Bucketization, error) {
+func (s *Snapshot) BestByUtility(nodes []lattice.Node, m utility.Metric) (int, *bucket.Bucketization, error) {
 	if len(nodes) == 0 {
 		return -1, nil, fmt.Errorf("anonymize: no candidate nodes")
 	}
 	bzs := make([]*bucket.Bucketization, len(nodes))
-	err := parallel.ForEach(p.workers, len(nodes), func(i int) error {
-		bz, err := p.Bucketize(nodes[i])
+	err := parallel.ForEach(s.p.workers, len(nodes), func(i int) error {
+		bz, err := s.Bucketize(nodes[i])
 		if err != nil {
 			return err
 		}
@@ -401,4 +463,61 @@ func (p *Problem) BestByUtility(nodes []lattice.Node, m utility.Metric) (int, *b
 	}
 	best := utility.Best(m, bzs)
 	return best, bzs[best], nil
+}
+
+// Bucketize materializes the bucketization at a lattice node on the
+// current version (each Problem-level call pins its own snapshot; use
+// Snapshot directly when several calls must agree on one version).
+func (p *Problem) Bucketize(node lattice.Node) (*bucket.Bucketization, error) {
+	return p.Snapshot().Bucketize(node)
+}
+
+// BucketizeSubset is Snapshot.BucketizeSubset on the current version.
+func (p *Problem) BucketizeSubset(subset []int, node lattice.Node) (*bucket.Bucketization, error) {
+	return p.Snapshot().BucketizeSubset(subset, node)
+}
+
+// Pred adapts a privacy criterion to a lattice predicate over full nodes,
+// evaluated on the current version at call time.
+func (p *Problem) Pred(crit privacy.Criterion) lattice.Pred {
+	return p.Snapshot().Pred(crit)
+}
+
+// MinimalSafe runs Snapshot.MinimalSafe on the version current when the
+// call starts; the whole search computes on that one pinned version.
+func (p *Problem) MinimalSafe(crit privacy.Criterion) ([]lattice.Node, lattice.Stats, error) {
+	return p.Snapshot().MinimalSafe(crit)
+}
+
+// MinimalSafeIncognito runs Snapshot.MinimalSafeIncognito on the version
+// current when the call starts.
+func (p *Problem) MinimalSafeIncognito(crit privacy.Criterion) ([]lattice.Node, lattice.Stats, error) {
+	return p.Snapshot().MinimalSafeIncognito(crit)
+}
+
+// ChainSearch runs Snapshot.ChainSearch on the version current when the
+// call starts.
+func (p *Problem) ChainSearch(crit privacy.Criterion) (lattice.Node, bool, lattice.Stats, error) {
+	return p.Snapshot().ChainSearch(crit)
+}
+
+// BestByUtility runs Snapshot.BestByUtility on the version current when
+// the call starts.
+func (p *Problem) BestByUtility(nodes []lattice.Node, m utility.Metric) (int, *bucket.Bucketization, error) {
+	return p.Snapshot().BestByUtility(nodes, m)
+}
+
+// levelVector flattens a complete level assignment into schema QI order —
+// the comparable form the coarsening index orders sources by.
+func levelVector(s *table.Schema, levels bucket.Levels) []int {
+	qi := s.QuasiIdentifiers()
+	vec := make([]int, len(qi))
+	for i, col := range qi {
+		vec[i] = levels[s.Attrs[col].Name]
+	}
+	return vec
+}
+
+func cacheKey(subset []int, node lattice.Node) string {
+	return lattice.Node(subset).Key() + "/" + node.Key()
 }

@@ -1,0 +1,235 @@
+package anonymize
+
+import (
+	"fmt"
+
+	"ckprivacy/internal/bucket"
+	"ckprivacy/internal/hierarchy"
+	"ckprivacy/internal/table"
+)
+
+// AppendResult reports what one Problem.Append changed.
+type AppendResult struct {
+	// Version is the dataset version after the append.
+	Version int64
+	// Start is the row index of the first appended row.
+	Start int
+	// Rows is the total row count after the append.
+	Rows int
+	// Appended is the number of rows the batch added.
+	Appended int
+	// NewCodes counts the dictionary codes each attribute gained, keyed by
+	// attribute name; attributes absent saw no new values. Nil on the
+	// legacy string path, which keeps no dictionaries.
+	NewCodes map[string]int
+	// PatchedNodes counts warm cache entries refreshed in place by the
+	// incremental bucketization update.
+	PatchedNodes int
+	// InvalidatedNodes counts warm cache entries that had to be dropped
+	// (rebuilt lazily on next use) instead of patched — always the whole
+	// cache on the legacy path.
+	InvalidatedNodes int
+}
+
+// Append streams rows into the problem: dictionaries and code columns grow
+// in place, every cached bucketization is patched with just the appended
+// rows (O(appended + buckets) per warm node instead of a full O(rows)
+// re-encode and re-bucketize), and the problem's version is bumped. The
+// swap is atomic — searches running on a Snapshot keep their pinned
+// version; calls made after Append see the grown dataset. Appends are
+// serialized with each other but never block snapshot readers.
+//
+// The batch is validated (schema and, on the encoded path, hierarchy
+// coverage of every new value) before anything mutates, so a rejected
+// batch leaves the problem exactly as it was. The disclosure-engine memo
+// needs no maintenance: it is keyed by histogram content, not by dataset
+// version.
+func (p *Problem) Append(rows []table.Row) (AppendResult, error) {
+	p.appendMu.Lock()
+	defer p.appendMu.Unlock()
+	old := p.cur.Load()
+	if len(rows) == 0 {
+		return AppendResult{Version: old.version, Start: old.tab.Len(), Rows: old.tab.Len()}, nil
+	}
+	// Schema validation runs first so malformed values are reported as
+	// schema errors; Encoded.Append will re-validate (it is public API
+	// with its own atomicity contract), which is accepted double work —
+	// one linear pass over the batch, small next to the cache patching.
+	if err := p.validateRows(rows); err != nil {
+		return AppendResult{}, err
+	}
+	if p.master == nil {
+		return p.appendLegacy(old, rows)
+	}
+
+	// Extend the compiled hierarchies over the batch's new values before
+	// committing anything: a value the hierarchy cannot generalize must
+	// reject the whole batch, not leave the dictionaries half-grown.
+	// Schema validation already ran, so extension errors really mean "the
+	// hierarchy does not cover this (schema-legal) value".
+	newCompiled, err := p.extendCompiled(old, rows)
+	if err != nil {
+		return AppendResult{}, err
+	}
+	delta, err := p.master.Append(rows)
+	if err != nil {
+		return AppendResult{}, err
+	}
+	snap := p.master.Snapshot()
+
+	// Patch the warm state: every cached bucketization absorbs just the
+	// appended rows; entries a patch cannot serve are dropped and rebuilt
+	// lazily. The coarsening index is rebuilt from the patched entries, so
+	// the next cache miss still derives from the cheapest compatible
+	// source.
+	cache := newBucketizeCache()
+	cache.carryCounters(old.cache)
+	sources := &coarsenIndex{}
+	res := AppendResult{
+		Version:  old.version + 1,
+		Start:    delta.Start,
+		Rows:     delta.Rows,
+		Appended: len(rows),
+		NewCodes: newCodeCounts(snap.Table.Schema, delta),
+	}
+	old.cache.each(func(key string, e cacheEntry) {
+		bz, err := bucket.AppendRows(e.bz, snap, newCompiled, e.levels, delta.Start)
+		if err != nil {
+			res.InvalidatedNodes++
+			return
+		}
+		cache.put(key, bz, e.levels)
+		sources.add(levelVector(snap.Table.Schema, e.levels), bz)
+		res.PatchedNodes++
+	})
+	p.cur.Store(&state{
+		version:  res.Version,
+		tab:      snap.Table,
+		enc:      snap,
+		compiled: newCompiled,
+		cache:    cache,
+		sources:  sources,
+	})
+	return res, nil
+}
+
+// validateRows checks the whole batch against the schema before anything
+// mutates, so a rejected batch reports the offending row and attribute
+// and leaves the problem untouched.
+func (p *Problem) validateRows(rows []table.Row) error {
+	s := p.Table.Schema
+	for i, r := range rows {
+		if len(r) != len(s.Attrs) {
+			return fmt.Errorf(
+				"anonymize: append row %d has %d values, schema has %d attributes",
+				i, len(r), len(s.Attrs))
+		}
+		for c, v := range r {
+			if err := s.Attrs[c].Validate(v); err != nil {
+				return fmt.Errorf("anonymize: append row %d: %w", i, err)
+			}
+		}
+	}
+	return nil
+}
+
+// appendLegacy is the string-path append: validated rows are added to the
+// master table, and the warm cache is dropped wholesale (there is no
+// encoded substrate to patch against). Hierarchy coverage is checked
+// first, like the encoded path's Extend: an append is irreversible, so a
+// schema-legal value no hierarchy can generalize must reject the batch
+// rather than permanently fail every later Bucketize of the dataset.
+func (p *Problem) appendLegacy(old *state, rows []table.Row) (AppendResult, error) {
+	s := p.Table.Schema
+	for name, h := range p.Hierarchies {
+		col := s.Index(name)
+		if col < 0 {
+			continue
+		}
+		checked := make(map[string]bool)
+		for i, r := range rows {
+			v := r[col]
+			if checked[v] {
+				continue
+			}
+			checked[v] = true
+			for l := 1; l < h.Levels(); l++ {
+				if _, err := h.Generalize(v, l); err != nil {
+					return AppendResult{}, fmt.Errorf("anonymize: append row %d: %w", i, err)
+				}
+			}
+		}
+	}
+	p.Table.Rows = append(p.Table.Rows, rows...)
+	n := len(p.Table.Rows)
+	res := AppendResult{
+		Version:          old.version + 1,
+		Start:            n - len(rows),
+		Rows:             n,
+		Appended:         len(rows),
+		InvalidatedNodes: old.cache.size(),
+	}
+	cache := newBucketizeCache()
+	cache.carryCounters(old.cache)
+	p.cur.Store(&state{
+		version: res.Version,
+		tab:     &table.Table{Schema: p.Table.Schema, Rows: p.Table.Rows[:n:n]},
+		cache:   cache,
+	})
+	return res, nil
+}
+
+// extendCompiled builds the next version's compiled-hierarchy set: for
+// every column whose hierarchy is compiled and whose batch introduces
+// values the dictionary has not seen, the compiled LUTs are extended
+// copy-on-write over the would-be grown domain. Any value a hierarchy
+// cannot generalize fails the whole append before the master mutates.
+func (p *Problem) extendCompiled(old *state, rows []table.Row) (hierarchy.CompiledSet, error) {
+	s := p.master.Table.Schema
+	out := make(hierarchy.CompiledSet, len(old.compiled))
+	for name, c := range old.compiled {
+		out[name] = c
+	}
+	for name, c := range old.compiled {
+		col := s.Index(name)
+		if col < 0 {
+			continue
+		}
+		dict := p.master.Dicts[col]
+		var grown []string
+		seen := make(map[string]bool)
+		for _, r := range rows {
+			if col >= len(r) {
+				continue // length errors surface in master.Append's validation
+			}
+			v := r[col]
+			if _, ok := dict.Code(v); ok || seen[v] {
+				continue
+			}
+			seen[v] = true
+			grown = append(grown, v)
+		}
+		if len(grown) == 0 {
+			continue
+		}
+		domain := append(append([]string(nil), dict.Values()...), grown...)
+		ext, err := c.Extend(p.Hierarchies[name], domain)
+		if err != nil {
+			return nil, fmt.Errorf("anonymize: append: %w", err)
+		}
+		out[name] = ext
+	}
+	return out, nil
+}
+
+// newCodeCounts flattens an encoding delta into per-attribute new-value
+// counts, dropping columns that gained nothing.
+func newCodeCounts(s *table.Schema, delta table.AppendDelta) map[string]int {
+	out := map[string]int{}
+	for c := range s.Attrs {
+		if n := delta.NewValueCount(c); n > 0 {
+			out[s.Attrs[c].Name] = n
+		}
+	}
+	return out
+}

@@ -1,0 +1,462 @@
+package anonymize
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"ckprivacy/internal/bucket"
+	"ckprivacy/internal/core"
+	"ckprivacy/internal/hierarchy"
+	"ckprivacy/internal/table"
+)
+
+// requireBZIdentity asserts full byte-identity of two bucketizations:
+// keys, tuple order, histograms, signatures.
+func requireBZIdentity(t *testing.T, want, got *bucket.Bucketization, label string) {
+	t.Helper()
+	if len(want.Buckets) != len(got.Buckets) {
+		t.Fatalf("%s: %d buckets, want %d", label, len(got.Buckets), len(want.Buckets))
+	}
+	for i := range want.Buckets {
+		w, g := want.Buckets[i], got.Buckets[i]
+		if w.Key != g.Key {
+			t.Fatalf("%s: bucket %d key %q, want %q", label, i, g.Key, w.Key)
+		}
+		if !reflect.DeepEqual(w.Tuples, g.Tuples) {
+			t.Fatalf("%s: bucket %d tuples %v, want %v", label, i, g.Tuples, w.Tuples)
+		}
+		if !reflect.DeepEqual(w.Freq(), g.Freq()) {
+			t.Fatalf("%s: bucket %d freq %v, want %v", label, i, g.Freq(), w.Freq())
+		}
+		if !reflect.DeepEqual(w.Histogram(), g.Histogram()) {
+			t.Fatalf("%s: bucket %d histogram %v, want %v", label, i, g.Histogram(), w.Histogram())
+		}
+	}
+}
+
+// TestAppendParitySearches is the append-parity acceptance property: for
+// random tables and hierarchies, appending a suffix to a warm problem and
+// then bucketizing/searching must be byte-identical — bucket keys, tuple
+// order, histograms, search nodes and stats, disclosure values — to a
+// problem built from scratch on the concatenated table, at worker budgets
+// 1 and 4.
+func TestAppendParitySearches(t *testing.T) {
+	cases := 20
+	if testing.Short() {
+		cases = 6
+	}
+	rng := rand.New(rand.NewSource(31))
+	for i := 0; i < cases; i++ {
+		tab, hs, qi := randomProblemCase(rng)
+		cut := 1 + rng.Intn(tab.Len()-1)
+		base := table.New(tab.Schema)
+		for _, r := range tab.Rows[:cut] {
+			base.MustAppend(r)
+		}
+		extra := make([]table.Row, len(tab.Rows[cut:]))
+		copy(extra, tab.Rows[cut:])
+		c := []float64{0.4, 0.6, 0.8}[rng.Intn(3)]
+		k := rng.Intn(3)
+		for _, workers := range []int{1, 4} {
+			label := fmt.Sprintf("case %d cut %d (c=%v k=%d workers=%d)", i, cut, c, k, workers)
+
+			appended, err := NewProblem(base.Clone(), hs, qi, WithWorkers(workers))
+			if err != nil {
+				t.Fatalf("%s: base problem: %v", label, err)
+			}
+			// Warm the whole lattice before appending so the patch path is
+			// what serves every post-append node.
+			for _, node := range appended.Space().All() {
+				if _, err := appended.Bucketize(node); err != nil {
+					t.Fatalf("%s: warm %v: %v", label, node, err)
+				}
+			}
+			res, err := appended.Append(extra)
+			if err != nil {
+				t.Fatalf("%s: append: %v", label, err)
+			}
+			if res.Version != 2 || res.Start != cut || res.Rows != tab.Len() || res.Appended != len(extra) {
+				t.Fatalf("%s: append result %+v", label, res)
+			}
+			if appended.Version() != 2 || appended.Rows() != tab.Len() {
+				t.Fatalf("%s: version/rows %d/%d after append", label, appended.Version(), appended.Rows())
+			}
+
+			rebuilt, err := NewProblem(tab.Clone(), hs, qi, WithWorkers(workers))
+			if err != nil {
+				t.Fatalf("%s: rebuilt problem: %v", label, err)
+			}
+
+			// Node-by-node bucketization identity and disclosure parity.
+			for _, node := range rebuilt.Space().All() {
+				want, err := rebuilt.Bucketize(node)
+				if err != nil {
+					t.Fatalf("%s: rebuilt bucketize %v: %v", label, node, err)
+				}
+				got, err := appended.Bucketize(node)
+				if err != nil {
+					t.Fatalf("%s: appended bucketize %v: %v", label, node, err)
+				}
+				requireBZIdentity(t, want, got, fmt.Sprintf("%s node %v", label, node))
+				wd, err := core.MaxDisclosure(want, k)
+				if err != nil {
+					t.Fatalf("%s: disclosure %v: %v", label, node, err)
+				}
+				gd, err := core.MaxDisclosure(got, k)
+				if err != nil {
+					t.Fatalf("%s: disclosure %v: %v", label, node, err)
+				}
+				if wd != gd {
+					t.Fatalf("%s: disclosure at %v: rebuilt %v, appended %v", label, node, wd, gd)
+				}
+			}
+
+			// Search parity: nodes and stats for every search type.
+			wn, ws, err := rebuilt.MinimalSafe(rebuilt.CKSafety(c, k))
+			if err != nil {
+				t.Fatalf("%s: rebuilt MinimalSafe: %v", label, err)
+			}
+			gn, gs, err := appended.MinimalSafe(appended.CKSafety(c, k))
+			if err != nil {
+				t.Fatalf("%s: appended MinimalSafe: %v", label, err)
+			}
+			if !reflect.DeepEqual(wn, gn) || ws != gs {
+				t.Fatalf("%s: MinimalSafe mismatch: rebuilt %v %+v, appended %v %+v", label, wn, ws, gn, gs)
+			}
+
+			wn, ws, err = rebuilt.MinimalSafeIncognito(rebuilt.CKSafety(c, k))
+			if err != nil {
+				t.Fatalf("%s: rebuilt Incognito: %v", label, err)
+			}
+			gn, gs, err = appended.MinimalSafeIncognito(appended.CKSafety(c, k))
+			if err != nil {
+				t.Fatalf("%s: appended Incognito: %v", label, err)
+			}
+			if !reflect.DeepEqual(wn, gn) || ws != gs {
+				t.Fatalf("%s: Incognito mismatch: rebuilt %v %+v, appended %v %+v", label, wn, ws, gn, gs)
+			}
+
+			wNode, wOK, wStats, err := rebuilt.ChainSearch(rebuilt.CKSafety(c, k))
+			if err != nil {
+				t.Fatalf("%s: rebuilt ChainSearch: %v", label, err)
+			}
+			gNode, gOK, gStats, err := appended.ChainSearch(appended.CKSafety(c, k))
+			if err != nil {
+				t.Fatalf("%s: appended ChainSearch: %v", label, err)
+			}
+			if wOK != gOK || !reflect.DeepEqual(wNode, gNode) || wStats != gStats {
+				t.Fatalf("%s: ChainSearch mismatch: rebuilt %v/%v %+v, appended %v/%v %+v",
+					label, wNode, wOK, wStats, gNode, gOK, gStats)
+			}
+		}
+	}
+}
+
+// TestAppendParityLegacyPath runs the append-parity property on the
+// string path: the cache is invalidated wholesale, and results still match
+// a from-scratch legacy problem on the concatenated table.
+func TestAppendParityLegacyPath(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	tab, hs, qi := randomProblemCase(rng)
+	cut := tab.Len() / 2
+	base := table.New(tab.Schema)
+	for _, r := range tab.Rows[:cut] {
+		base.MustAppend(r)
+	}
+	p, err := NewProblem(base.Clone(), hs, qi, WithLegacyBucketize())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, node := range p.Space().All() {
+		if _, err := p.Bucketize(node); err != nil {
+			t.Fatal(err)
+		}
+	}
+	warm := p.CacheStats().Entries
+	res, err := p.Append(tab.Rows[cut:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.InvalidatedNodes != warm || res.PatchedNodes != 0 {
+		t.Fatalf("legacy append result %+v, want %d invalidated", res, warm)
+	}
+	if p.CacheStats().Entries != 0 {
+		t.Fatalf("legacy append left %d cached entries", p.CacheStats().Entries)
+	}
+	rebuilt, err := NewProblem(tab.Clone(), hs, qi, WithLegacyBucketize())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, node := range p.Space().All() {
+		want, err := rebuilt.Bucketize(node)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := p.Bucketize(node)
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireBZIdentity(t, want, got, fmt.Sprintf("legacy node %v", node))
+	}
+}
+
+// TestSnapshotPinsVersionAcrossAppend pins the copy-on-write contract at
+// the problem layer: a snapshot taken before an append keeps returning the
+// pre-append partition and version while the problem itself moves on.
+func TestSnapshotPinsVersionAcrossAppend(t *testing.T) {
+	rng := rand.New(rand.NewSource(39))
+	tab, hs, qi := randomProblemCase(rng)
+	cut := tab.Len() / 2
+	base := table.New(tab.Schema)
+	for _, r := range tab.Rows[:cut] {
+		base.MustAppend(r)
+	}
+	p, err := NewProblem(base.Clone(), hs, qi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := p.Snapshot()
+	node := p.Space().All()[0]
+	before, err := snap.Bucketize(node)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Append(tab.Rows[cut:]); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Version() != 1 || snap.Rows() != cut {
+		t.Fatalf("snapshot drifted to version %d rows %d", snap.Version(), snap.Rows())
+	}
+	after, err := snap.Bucketize(node)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireBZIdentity(t, before, after, "pinned snapshot")
+	if got := after.Size(); got != cut {
+		t.Fatalf("pinned snapshot bucketizes %d tuples, want %d", got, cut)
+	}
+	now := p.Snapshot()
+	if now.Version() != 2 || now.Rows() != tab.Len() {
+		t.Fatalf("current snapshot at version %d rows %d", now.Version(), now.Rows())
+	}
+	cur, err := now.Bucketize(node)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cur.Size() != tab.Len() {
+		t.Fatalf("current snapshot bucketizes %d tuples, want %d", cur.Size(), tab.Len())
+	}
+}
+
+// TestAppendRejectsUncoveredValue checks atomicity: a batch containing a
+// value the hierarchy cannot generalize is rejected whole, leaving
+// version, rows and warm state untouched.
+func TestAppendRejectsUncoveredValue(t *testing.T) {
+	s, err := table.NewSchema([]table.Attribute{
+		{Name: "City", Kind: table.Categorical, Domain: []string{"a", "b", "c"}},
+		{Name: "sens", Kind: table.Categorical, Domain: []string{"s0", "s1"}},
+	}, "sens")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The hierarchy covers only a and b; c is schema-legal but cannot be
+	// generalized.
+	hs := hierarchy.Set{"City": hierarchy.NewSuppression("City", []string{"a", "b"})}
+	tab := table.New(s)
+	tab.MustAppend(table.Row{"a", "s0"})
+	tab.MustAppend(table.Row{"b", "s1"})
+	p, err := NewProblem(tab, hs, []string{"City"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Encoding().Enabled {
+		t.Fatal("fixture did not take the encoded path")
+	}
+	node := p.Space().All()[0]
+	if _, err := p.Bucketize(node); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Append([]table.Row{{"c", "s0"}}); err == nil {
+		t.Fatal("append accepted a value outside the hierarchy")
+	}
+	if p.Version() != 1 || p.Rows() != 2 {
+		t.Fatalf("rejected append mutated the problem: version %d rows %d", p.Version(), p.Rows())
+	}
+	if _, err := p.Append([]table.Row{{"bogus", "s0"}}); err == nil {
+		t.Fatal("append accepted a schema-invalid value")
+	}
+	// A valid append still works afterwards and bumps the version.
+	res, err := p.Append([]table.Row{{"a", "s1"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Version != 2 || res.Rows != 3 || res.PatchedNodes != 1 {
+		t.Fatalf("append result %+v", res)
+	}
+}
+
+// TestLegacySnapshotPinnedAcrossAppend pins the version-1 view on the
+// string path: even without an encoded substrate, a snapshot taken
+// before the first append must keep its row count and partitions.
+func TestLegacySnapshotPinnedAcrossAppend(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	tab, hs, qi := randomProblemCase(rng)
+	cut := tab.Len() / 2
+	base := table.New(tab.Schema)
+	for _, r := range tab.Rows[:cut] {
+		base.MustAppend(r)
+	}
+	p, err := NewProblem(base, hs, qi, WithLegacyBucketize())
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := p.Snapshot()
+	node := p.Space().All()[0]
+	if _, err := snap.Bucketize(node); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Append(tab.Rows[cut:]); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Version() != 1 || snap.Rows() != cut {
+		t.Fatalf("legacy snapshot drifted to version %d rows %d, want 1/%d",
+			snap.Version(), snap.Rows(), cut)
+	}
+	bz, err := snap.Bucketize(node)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bz.Size() != cut {
+		t.Fatalf("legacy pinned snapshot bucketizes %d tuples, want %d", bz.Size(), cut)
+	}
+}
+
+// TestLegacyAppendRejectsUncoveredValue pins the string-path batch
+// atomicity: a schema-legal value no hierarchy can generalize must
+// reject the batch — committing it would permanently fail every later
+// Bucketize of the dataset.
+func TestLegacyAppendRejectsUncoveredValue(t *testing.T) {
+	s, err := table.NewSchema([]table.Attribute{
+		{Name: "City", Kind: table.Categorical, Domain: []string{"a", "b", "c"}},
+		{Name: "sens", Kind: table.Categorical, Domain: []string{"s0", "s1"}},
+	}, "sens")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := hierarchy.Set{"City": hierarchy.NewSuppression("City", []string{"a", "b"})}
+	tab := table.New(s)
+	tab.MustAppend(table.Row{"a", "s0"})
+	tab.MustAppend(table.Row{"b", "s1"})
+	p, err := NewProblem(tab, hs, []string{"City"}, WithLegacyBucketize())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Append([]table.Row{{"a", "s1"}, {"c", "s0"}}); err == nil {
+		t.Fatal("legacy append accepted a value outside the hierarchy")
+	}
+	if p.Version() != 1 || p.Rows() != 2 {
+		t.Fatalf("rejected legacy append mutated the problem: version %d rows %d", p.Version(), p.Rows())
+	}
+	// The dataset still bucketizes at every node afterwards.
+	for _, node := range p.Space().All() {
+		if _, err := p.Bucketize(node); err != nil {
+			t.Fatalf("node %v broken after rejected append: %v", node, err)
+		}
+	}
+}
+
+// TestConcurrentAppendAndSearch drives appends while snapshot-pinned
+// searches and bucketizations run on other goroutines; the race detector
+// proves the copy-on-write versioning, and every observed bucketization
+// must cover exactly one of the row counts a version ever had.
+func TestConcurrentAppendAndSearch(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	tab, hs, qi := randomProblemCase(rng)
+	base := table.New(tab.Schema)
+	for _, r := range tab.Rows {
+		base.MustAppend(r)
+	}
+	p, err := NewProblem(base, hs, qi, WithWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const rounds = 8
+	batch := make([]table.Row, 5)
+	for i := range batch {
+		batch[i] = tab.Rows[i%tab.Len()]
+	}
+	valid := map[int]bool{}
+	for v := 0; v <= rounds; v++ {
+		valid[tab.Len()+v*len(batch)] = true
+	}
+	done := make(chan error, 3)
+	go func() {
+		for i := 0; i < rounds; i++ {
+			if _, err := p.Append(batch); err != nil {
+				done <- err
+				return
+			}
+		}
+		done <- nil
+	}()
+	for g := 0; g < 2; g++ {
+		go func() {
+			for i := 0; i < 6; i++ {
+				snap := p.Snapshot()
+				if _, _, err := snap.MinimalSafe(p.CKSafety(0.8, 1)); err != nil {
+					done <- err
+					return
+				}
+				for _, node := range p.Space().All() {
+					bz, err := snap.Bucketize(node)
+					if err != nil {
+						done <- err
+						return
+					}
+					if !valid[bz.Size()] {
+						done <- fmt.Errorf("bucketization covers %d rows, not any version's count", bz.Size())
+						return
+					}
+				}
+			}
+			done <- nil
+		}()
+	}
+	for i := 0; i < 3; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := p.Rows(); got != tab.Len()+rounds*len(batch) {
+		t.Fatalf("final rows %d, want %d", got, tab.Len()+rounds*len(batch))
+	}
+}
+
+// TestAppendResultNewCodes checks the per-attribute new-code accounting.
+func TestAppendResultNewCodes(t *testing.T) {
+	s, err := table.NewSchema([]table.Attribute{
+		{Name: "Age", Kind: table.Numeric, Min: 0, Max: 99},
+		{Name: "sens", Kind: table.Categorical, Domain: []string{"s0", "s1", "s2"}},
+	}, "sens")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := hierarchy.Set{"Age": hierarchy.MustInterval("Age", []int{1, 10, 0})}
+	tab := table.New(s)
+	tab.MustAppend(table.Row{"11", "s0"})
+	tab.MustAppend(table.Row{"12", "s0"})
+	p, err := NewProblem(tab, hs, []string{"Age"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.Append([]table.Row{{"11", "s1"}, {"37", "s2"}, {"37", "s1"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]int{"Age": 1, "sens": 2}
+	if !reflect.DeepEqual(res.NewCodes, want) {
+		t.Fatalf("NewCodes %v, want %v", res.NewCodes, want)
+	}
+}

@@ -13,6 +13,15 @@ import (
 // 32 small maps.
 const cacheShards = 32
 
+// cacheEntry is one cached bucketization together with the complete level
+// assignment (every schema QI attribute present) it was materialized at.
+// The levels are what let an append patch the entry in place:
+// bucket.AppendRows re-keys only the appended rows at exactly these levels.
+type cacheEntry struct {
+	bz     *bucket.Bucketization
+	levels bucket.Levels
+}
+
 // bucketizeCache is a sharded, concurrency-safe map from (subset, node)
 // cache keys to materialized bucketizations. The level-wise parallel
 // searches hit it from every worker at once; sharding by key hash keeps the
@@ -20,11 +29,13 @@ const cacheShards = 32
 //
 // Entries are immutable once stored: a racing put of the same key is
 // harmless because FromGeneralization is deterministic, so both values are
-// interchangeable.
+// interchangeable. Each cache belongs to one problem version; an append
+// builds the next version's cache by patching this one's entries rather
+// than mutating them (snapshots pinned on this version keep reading it).
 type bucketizeCache struct {
 	shards [cacheShards]struct {
 		mu sync.RWMutex
-		m  map[string]*bucket.Bucketization
+		m  map[string]cacheEntry
 	}
 
 	hits   atomic.Uint64
@@ -34,14 +45,22 @@ type bucketizeCache struct {
 func newBucketizeCache() *bucketizeCache {
 	c := &bucketizeCache{}
 	for i := range c.shards {
-		c.shards[i].m = make(map[string]*bucket.Bucketization)
+		c.shards[i].m = make(map[string]cacheEntry)
 	}
 	return c
 }
 
+// carryCounters seeds the cache's hit/miss counters from a predecessor so
+// the serving layer's cumulative cache metrics stay monotonic across
+// appends.
+func (c *bucketizeCache) carryCounters(prev *bucketizeCache) {
+	c.hits.Store(prev.hits.Load())
+	c.misses.Store(prev.misses.Load())
+}
+
 func (c *bucketizeCache) shard(key string) *struct {
 	mu sync.RWMutex
-	m  map[string]*bucket.Bucketization
+	m  map[string]cacheEntry
 } {
 	h := fnv.New32a()
 	h.Write([]byte(key))
@@ -51,21 +70,40 @@ func (c *bucketizeCache) shard(key string) *struct {
 func (c *bucketizeCache) get(key string) (*bucket.Bucketization, bool) {
 	s := c.shard(key)
 	s.mu.RLock()
-	bz, ok := s.m[key]
+	e, ok := s.m[key]
 	s.mu.RUnlock()
 	if ok {
 		c.hits.Add(1)
 	} else {
 		c.misses.Add(1)
 	}
-	return bz, ok
+	return e.bz, ok
 }
 
-func (c *bucketizeCache) put(key string, bz *bucket.Bucketization) {
+func (c *bucketizeCache) put(key string, bz *bucket.Bucketization, levels bucket.Levels) {
 	s := c.shard(key)
 	s.mu.Lock()
-	s.m[key] = bz
+	s.m[key] = cacheEntry{bz: bz, levels: levels}
 	s.mu.Unlock()
+}
+
+// each calls fn on a point-in-time copy of every cached entry. Entries
+// added by racing readers after their shard is visited are simply missed —
+// for the append patcher that only costs a later cache miss, never
+// correctness.
+func (c *bucketizeCache) each(fn func(key string, e cacheEntry)) {
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.RLock()
+		snapshot := make(map[string]cacheEntry, len(s.m))
+		for k, e := range s.m {
+			snapshot[k] = e
+		}
+		s.mu.RUnlock()
+		for k, e := range snapshot {
+			fn(k, e)
+		}
+	}
 }
 
 // CacheStats is a snapshot of a Problem's bucketization-cache

@@ -124,7 +124,7 @@ func TestBucketizeCacheConcurrent(t *testing.T) {
 	for err := range errs {
 		t.Fatal(err)
 	}
-	if got := p.cache.size(); got != len(nodes) {
+	if got := p.cur.Load().cache.size(); got != len(nodes) {
 		t.Errorf("cache size = %d, want %d", got, len(nodes))
 	}
 }

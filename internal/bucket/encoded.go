@@ -91,6 +91,14 @@ func buildDims(enc *table.Encoded, chs hierarchy.CompiledSet, levels Levels) ([]
 			if !ok {
 				return nil, fmt.Errorf("bucket: no hierarchy for attribute %q", name)
 			}
+			if covered := len(c.Lut(0)); covered < enc.Dicts[col].Len() {
+				// The dictionary grew past the compiled domain (an append
+				// without a matching Compiled.Extend); indexing the stale
+				// LUT would run off its end.
+				return nil, fmt.Errorf(
+					"bucket: compiled hierarchy for %q covers %d of %d dictionary values; extend it after appends",
+					name, covered, enc.Dicts[col].Len())
+			}
 			d.lut = c.Lut(lvl)
 			d.card = uint64(c.Cardinality(lvl))
 			d.comp = c
@@ -313,11 +321,14 @@ func Coarsen(fine *Bucketization, enc *table.Encoded, chs hierarchy.CompiledSet,
 	// merge folds one fine bucket into the group: dense histograms are
 	// summed slice-to-slice when the fine bucket carries one, and recounted
 	// from its rows otherwise (sparse groups always recount — still O(rows)
-	// across the whole call, like the string path).
+	// across the whole call, like the string path). A fine histogram
+	// shorter than the current sensitive code space is still exact: it was
+	// built before an append grew the sensitive dictionary, codes are never
+	// reassigned, and the bucket holds zero of every code it predates.
 	merge := func(g *egroup, b *Bucket) {
 		g.tuples = append(g.tuples, b.Tuples...)
 		switch {
-		case g.scounts != nil && b.scounts != nil && len(b.scounts) == scard:
+		case g.scounts != nil && b.scounts != nil && len(b.scounts) <= scard:
 			for v, n := range b.scounts {
 				g.scounts[v] += n
 			}

@@ -7,6 +7,7 @@
 package dataload
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -20,6 +21,13 @@ import (
 	"ckprivacy/internal/hierarchy"
 	"ckprivacy/internal/table"
 )
+
+// ErrNoDataRows marks a CSV that parsed a header but contained no data
+// rows: a bundle over an empty table has nothing to bucketize, so the
+// load is rejected eagerly instead of failing later at NewProblem.
+// Callers match it with errors.Is. (A file with no header at all is
+// table.ErrEmptyCSV.)
+var ErrNoDataRows = errors.New("csv has a header but no data rows")
 
 // Bundle is a dataset plus everything needed to bucketize and search it.
 type Bundle struct {
@@ -105,10 +113,15 @@ func Adult(path string, n int, seed int64) (*Bundle, error) {
 }
 
 // AdultFromReader reads an Adult-schema CSV (with header) into a bundle.
+// Empty input, a header-only file, ragged rows and values outside the
+// schema domains are all named errors, never silent skips.
 func AdultFromReader(r io.Reader) (*Bundle, error) {
 	tab, err := table.ReadCSV(r, adult.Schema())
 	if err != nil {
 		return nil, err
+	}
+	if tab.Len() == 0 {
+		return nil, fmt.Errorf("dataload: adult: %w", ErrNoDataRows)
 	}
 	return adultBundle(tab), nil
 }
@@ -125,16 +138,25 @@ func adultBundle(tab *table.Table) *Bundle {
 }
 
 // Hospital returns the paper's ten-patient running example as a bundle;
-// its default levels are the Figure 2/3 partition.
+// its default levels are the Figure 2/3 partition. Rows appended beyond
+// the paper's ten patients fall back to their row index as the person
+// name (the example only names the original cast).
 func Hospital() *Bundle {
 	h := experiments.HospitalExample()
 	return &Bundle{
-		Name:          "hospital",
-		Table:         h.Table,
-		Hierarchies:   h.Hierarchies,
-		QI:            []string{"Zip", "Age", "Sex"},
-		DefaultLevels: bucket.Levels{"Zip": 1, "Age": 1},
-		PersonName:    h.Name,
+		Name:        "hospital",
+		Table:       h.Table,
+		Hierarchies: h.Hierarchies,
+		QI:          []string{"Zip", "Age", "Sex"},
+		DefaultLevels: bucket.Levels{
+			"Zip": 1, "Age": 1,
+		},
+		PersonName: func(id int) string {
+			if id < len(h.Names) {
+				return h.Names[id]
+			}
+			return strconv.Itoa(id)
+		},
 	}
 }
 

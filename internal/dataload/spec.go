@@ -83,7 +83,7 @@ func FromSpec(name string, spec Spec) (*Bundle, error) {
 		return nil, fmt.Errorf("dataload: %w", err)
 	}
 	if tab.Len() == 0 {
-		return nil, fmt.Errorf("dataload: dataset %q has no rows", name)
+		return nil, fmt.Errorf("dataload: dataset %q: %w", name, ErrNoDataRows)
 	}
 
 	hs := hierarchy.Set{}

@@ -85,6 +85,72 @@ func Compile(h Hierarchy, domain []string) (*Compiled, error) {
 	return c, nil
 }
 
+// Extend compiles the appended suffix of a grown ground domain onto a
+// copy of the compiled hierarchy: domain must begin with the ground values
+// the hierarchy was compiled over (in the same code order), followed by
+// the newly appended values. Existing ground and generalized codes keep
+// their assignments — new generalized codes are interned by first
+// appearance in ground-code order, exactly as Compile would assign them on
+// the full domain — so Extend(h, grown) is byte-identical to
+// Compile(h, grown). The receiver is not modified: snapshots of the
+// pre-append state keep decoding against the original tables.
+func (c *Compiled) Extend(h Hierarchy, domain []string) (*Compiled, error) {
+	old := len(c.lut[0])
+	if len(domain) < old {
+		return nil, fmt.Errorf(
+			"hierarchy: extending %s: domain shrank from %d to %d values", c.name, old, len(domain))
+	}
+	out := &Compiled{
+		name:   c.name,
+		lut:    make([][]uint32, len(c.lut)),
+		values: make([][]string, len(c.values)),
+	}
+	// Level 0 stays the identity over the grown domain.
+	id := make([]uint32, len(domain))
+	for i := range id {
+		id[i] = uint32(i)
+	}
+	out.lut[0] = id
+	out.values[0] = append([]string(nil), domain...)
+	for l := 1; l < len(c.lut); l++ {
+		lut := make([]uint32, len(domain))
+		copy(lut, c.lut[l])
+		vals := append([]string(nil), c.values[l]...)
+		interned := make(map[string]uint32, len(vals))
+		for g, v := range vals {
+			interned[v] = uint32(g)
+		}
+		for i := old; i < len(domain); i++ {
+			g, err := h.Generalize(domain[i], l)
+			if err != nil {
+				return nil, fmt.Errorf("hierarchy: extending %s level %d: %w", c.name, l, err)
+			}
+			code, ok := interned[g]
+			if !ok {
+				code = uint32(len(vals))
+				vals = append(vals, g)
+				interned[g] = code
+			}
+			lut[i] = code
+		}
+		// Nesting check over the appended codes: level l must still be a
+		// function of level l-1 across the whole grown domain.
+		prev := out.lut[l-1]
+		coarser := make(map[uint32]uint32, len(vals))
+		for i := range domain {
+			if g, ok := coarser[prev[i]]; ok && g != lut[i] {
+				return nil, fmt.Errorf(
+					"hierarchy: extending %s: level %d splits %q (into %q and %q) — levels are not nested coarsenings",
+					c.name, l, out.values[l-1][prev[i]], vals[g], vals[lut[i]])
+			}
+			coarser[prev[i]] = lut[i]
+		}
+		out.lut[l] = lut
+		out.values[l] = vals
+	}
+	return out, nil
+}
+
 // Name returns the attribute name the compiled hierarchy applies to.
 func (c *Compiled) Name() string { return c.name }
 

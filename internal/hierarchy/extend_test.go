@@ -1,0 +1,84 @@
+package hierarchy
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"strconv"
+	"testing"
+)
+
+// requireSameCompiled asserts two compiled hierarchies agree on every LUT
+// entry and every interned generalized string.
+func requireSameCompiled(t *testing.T, want, got *Compiled, label string) {
+	t.Helper()
+	if want.Levels() != got.Levels() {
+		t.Fatalf("%s: %d levels, want %d", label, got.Levels(), want.Levels())
+	}
+	for l := 0; l < want.Levels(); l++ {
+		if !reflect.DeepEqual(want.lut[l], got.lut[l]) {
+			t.Fatalf("%s: level %d lut %v, want %v", label, l, got.lut[l], want.lut[l])
+		}
+		if !reflect.DeepEqual(want.values[l], got.values[l]) {
+			t.Fatalf("%s: level %d values %v, want %v", label, l, got.values[l], want.values[l])
+		}
+	}
+}
+
+// TestExtendMatchesFullCompile is the extension-parity property: compiling
+// a domain prefix and extending with the suffix must be byte-identical to
+// compiling the full domain, including brand-new generalized codes.
+func TestExtendMatchesFullCompile(t *testing.T) {
+	h := MustInterval("Age", []int{1, 5, 25, 0})
+	rng := rand.New(rand.NewSource(17))
+	for i := 0; i < 40; i++ {
+		full := make([]string, 0, 30)
+		seen := map[string]bool{}
+		for len(full) < 5+rng.Intn(25) {
+			v := strconv.Itoa(rng.Intn(100))
+			if !seen[v] {
+				seen[v] = true
+				full = append(full, v)
+			}
+		}
+		cut := 1 + rng.Intn(len(full))
+		base, err := Compile(h, full[:cut])
+		if err != nil {
+			t.Fatalf("case %d: compile prefix: %v", i, err)
+		}
+		ext, err := base.Extend(h, full)
+		if err != nil {
+			t.Fatalf("case %d: extend: %v", i, err)
+		}
+		want, err := Compile(h, full)
+		if err != nil {
+			t.Fatalf("case %d: compile full: %v", i, err)
+		}
+		requireSameCompiled(t, want, ext, fmt.Sprintf("case %d cut %d", i, cut))
+
+		// The original stays pinned at the prefix domain.
+		if got := len(base.Lut(0)); got != cut {
+			t.Fatalf("case %d: extend mutated the receiver (domain %d, want %d)", i, got, cut)
+		}
+	}
+}
+
+// TestExtendRejectsUngeneralizable checks extension fails cleanly when the
+// hierarchy cannot place an appended value, leaving the receiver intact.
+func TestExtendRejectsUngeneralizable(t *testing.T) {
+	domain := []string{"a", "b"}
+	h := NewSuppression("City", domain)
+	c, err := Compile(h, domain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Extend(h, []string{"a", "b", "zzz"}); err == nil {
+		t.Fatal("extend accepted a value outside the suppression domain")
+	}
+	if got := len(c.Lut(0)); got != 2 {
+		t.Fatalf("failed extend mutated the receiver: domain %d", got)
+	}
+	if _, err := c.Extend(h, []string{"a"}); err == nil {
+		t.Fatal("extend accepted a shrinking domain")
+	}
+}

@@ -10,11 +10,13 @@ import (
 	"strings"
 	"time"
 
+	"ckprivacy/docs"
 	"ckprivacy/internal/bucket"
 	"ckprivacy/internal/core"
 	"ckprivacy/internal/dataload"
 	"ckprivacy/internal/logic"
 	"ckprivacy/internal/privacy"
+	"ckprivacy/internal/table"
 	"ckprivacy/internal/utility"
 	"ckprivacy/internal/worlds"
 )
@@ -97,7 +99,11 @@ type registerDatasetRequest struct {
 
 // datasetInfo describes a registered dataset.
 type datasetInfo struct {
-	Name            string         `json:"name"`
+	Name string `json:"name"`
+	// Version is the dataset's monotonically increasing version: 1 at
+	// registration, bumped by every append. Rows is the row count at that
+	// version.
+	Version         int64          `json:"version"`
 	Rows            int            `json:"rows"`
 	Sensitive       string         `json:"sensitive"`
 	QI              []string       `json:"quasi_identifiers"`
@@ -105,6 +111,8 @@ type datasetInfo struct {
 	DefaultLevels   bucket.Levels  `json:"default_levels"`
 	LatticeSize     int            `json:"lattice_size"`
 	CacheEntries    int            `json:"cache_entries"`
+	// Releases is the number of retained recorded releases.
+	Releases int `json:"releases"`
 	// Encoded reports whether the dataset was dictionary-encoded at
 	// registration (the columnar fast path every request then computes on).
 	Encoded bool `json:"encoded"`
@@ -121,15 +129,19 @@ func describe(name string, ds *dataset) datasetInfo {
 		levels[qi] = b.Hierarchies[qi].Levels()
 	}
 	encoding := ds.problem.Encoding()
+	snap := ds.problem.Snapshot()
+	rs, _ := ds.releases.snapshot()
 	return datasetInfo{
 		Name:              name,
-		Rows:              b.Table.Len(),
+		Version:           snap.Version(),
+		Rows:              snap.Rows(),
 		Sensitive:         b.Table.Schema.Sensitive().Name,
 		QI:                b.QI,
 		HierarchyLevels:   levels,
 		DefaultLevels:     b.DefaultLevels,
 		LatticeSize:       ds.problem.Space().Size(),
 		CacheEntries:      ds.problem.CacheStats().Entries,
+		Releases:          len(rs),
 		Encoded:           encoding.Enabled,
 		DictCardinalities: encoding.Cardinalities,
 	}
@@ -184,7 +196,7 @@ func (s *Server) handleRegisterDataset(w http.ResponseWriter, r *http.Request) {
 			fmt.Errorf("dataset has %d rows, above the %d-row limit", b.Table.Len(), s.cfg.MaxRows))
 		return
 	}
-	ds, err := s.registry.add(req.Name, b, s.cfg.SearchWorkers, s.cfg.MemoMaxBytes)
+	ds, err := s.registry.add(req.Name, b, s.cfg.SearchWorkers, s.cfg.MemoMaxBytes, s.cfg.MaxReleases)
 	if err != nil {
 		code := http.StatusBadRequest
 		if errors.Is(err, errAlreadyRegistered) {
@@ -213,6 +225,89 @@ func (s *Server) handleGetDataset(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, describe(name, ds))
+}
+
+// ---- POST /v1/datasets/{name}/rows ----
+
+// appendRowsRequest streams new rows into a registered dataset. Values
+// are strings in schema column order (the same order /v1/datasets reports
+// the schema in).
+type appendRowsRequest struct {
+	Rows [][]string `json:"rows"`
+}
+
+// appendRowsResponse reports the append's effect: the new dataset version
+// and how the warm state was maintained.
+type appendRowsResponse struct {
+	Dataset  string `json:"dataset"`
+	Version  int64  `json:"version"`
+	Rows     int    `json:"rows"`
+	Appended int    `json:"appended"`
+	// Start is the row index (person id) of the first appended row.
+	Start int `json:"start"`
+	// NewCodes counts new dictionary values per attribute (absent keys saw
+	// none); omitted on the legacy string path.
+	NewCodes map[string]int `json:"new_codes,omitempty"`
+	// PatchedNodes/InvalidatedNodes report warm bucketization-cache
+	// maintenance: patched entries were refreshed in O(appended + buckets),
+	// invalidated ones will be rebuilt lazily.
+	PatchedNodes     int     `json:"patched_nodes"`
+	InvalidatedNodes int     `json:"invalidated_nodes"`
+	ElapsedMS        float64 `json:"elapsed_ms"`
+}
+
+func (s *Server) handleAppendRows(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	ds, ok := s.registry.get(name)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("dataset %q not registered", name))
+		return
+	}
+	var req appendRowsRequest
+	if err := s.readJSON(w, r, &req); err != nil {
+		writeHTTPError(w, err)
+		return
+	}
+	if len(req.Rows) == 0 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("rows must be a non-empty array"))
+		return
+	}
+	rows := make([]table.Row, len(req.Rows))
+	for i, r := range req.Rows {
+		rows[i] = table.Row(r)
+	}
+	release, ok := s.acquireGate(w, r)
+	if !ok {
+		return
+	}
+	defer release()
+	begin := time.Now()
+	// The limit check and the append are one critical section so racing
+	// appends cannot jointly overshoot MaxRows.
+	ds.appendMu.Lock()
+	if total := ds.problem.Rows() + len(rows); total > s.cfg.MaxRows {
+		ds.appendMu.Unlock()
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("append would grow dataset to %d rows, above the %d-row limit", total, s.cfg.MaxRows))
+		return
+	}
+	res, err := ds.problem.Append(rows)
+	ds.appendMu.Unlock()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, appendRowsResponse{
+		Dataset:          name,
+		Version:          res.Version,
+		Rows:             res.Rows,
+		Appended:         res.Appended,
+		Start:            res.Start,
+		NewCodes:         res.NewCodes,
+		PatchedNodes:     res.PatchedNodes,
+		InvalidatedNodes: res.InvalidatedNodes,
+		ElapsedMS:        float64(time.Since(begin)) / float64(time.Millisecond),
+	})
 }
 
 // ---- bucketization resolution shared by disclosure/check/estimate ----
@@ -254,17 +349,19 @@ func writeHTTPError(w http.ResponseWriter, err error) {
 }
 
 // resolve materializes the source. For dataset sources the bucketization
-// comes out of the dataset's warm cache; ds is nil for inline groups.
-func (s *Server) resolve(src bucketizationSource) (*bucket.Bucketization, *dataset, error) {
+// comes out of the dataset's warm cache, pinned to one version whose
+// number is returned (responses echo it); ds is nil and version 0 for
+// inline groups.
+func (s *Server) resolve(src bucketizationSource) (*bucket.Bucketization, *dataset, int64, error) {
 	switch {
 	case src.Dataset != "" && src.Groups != nil:
-		return nil, nil, badRequest("dataset and groups are mutually exclusive")
+		return nil, nil, 0, badRequest("dataset and groups are mutually exclusive")
 	case len(src.Groups) > 0 && len(src.Levels) > 0:
-		return nil, nil, badRequest("levels only apply to a registered dataset, not inline groups")
+		return nil, nil, 0, badRequest("levels only apply to a registered dataset, not inline groups")
 	case src.Dataset != "":
 		ds, ok := s.registry.get(src.Dataset)
 		if !ok {
-			return nil, nil, &httpError{http.StatusNotFound, fmt.Errorf("dataset %q not registered", src.Dataset)}
+			return nil, nil, 0, &httpError{http.StatusNotFound, fmt.Errorf("dataset %q not registered", src.Dataset)}
 		}
 		levels := src.Levels
 		if len(levels) == 0 {
@@ -272,27 +369,28 @@ func (s *Server) resolve(src bucketizationSource) (*bucket.Bucketization, *datas
 		}
 		node, err := ds.problem.NodeForLevels(levels)
 		if err != nil {
-			return nil, nil, badRequest("%v", err)
+			return nil, nil, 0, badRequest("%v", err)
 		}
-		bz, err := ds.problem.Bucketize(node)
+		snap := ds.problem.Snapshot()
+		bz, err := snap.Bucketize(node)
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, 0, err
 		}
-		return bz, ds, nil
+		return bz, ds, snap.Version(), nil
 	case len(src.Groups) > 0:
 		total := 0
 		for i, g := range src.Groups {
 			if len(g) == 0 {
-				return nil, nil, badRequest("group %d is empty", i)
+				return nil, nil, 0, badRequest("group %d is empty", i)
 			}
 			total += len(g)
 		}
 		if total > s.cfg.MaxRows {
-			return nil, nil, badRequest("inline groups hold %d tuples, above the %d-row limit", total, s.cfg.MaxRows)
+			return nil, nil, 0, badRequest("inline groups hold %d tuples, above the %d-row limit", total, s.cfg.MaxRows)
 		}
-		return bucket.FromValues(src.Groups...), nil, nil
+		return bucket.FromValues(src.Groups...), nil, 0, nil
 	default:
-		return nil, nil, badRequest("either dataset or groups must be set")
+		return nil, nil, 0, badRequest("either dataset or groups must be set")
 	}
 }
 
@@ -329,6 +427,7 @@ type witnessBody struct {
 
 type disclosureResponse struct {
 	Dataset            string        `json:"dataset,omitempty"`
+	Version            int64         `json:"version,omitempty"`
 	Levels             bucket.Levels `json:"levels,omitempty"`
 	K                  int           `json:"k"`
 	Buckets            int           `json:"buckets"`
@@ -364,7 +463,7 @@ func (s *Server) handleDisclosure(w http.ResponseWriter, r *http.Request) {
 		eng = s.inline
 	}
 	begin := time.Now()
-	bz, ds, err := s.resolve(req.bucketizationSource)
+	bz, ds, version, err := s.resolve(req.bucketizationSource)
 	if err != nil {
 		writeHTTPError(w, err)
 		return
@@ -377,6 +476,7 @@ func (s *Server) handleDisclosure(w http.ResponseWriter, r *http.Request) {
 	}
 	resp := disclosureResponse{
 		Dataset:    req.Dataset,
+		Version:    version,
 		Levels:     req.Levels,
 		K:          req.K,
 		Buckets:    len(bz.Buckets),
@@ -487,6 +587,7 @@ type checkRequest struct {
 
 type checkResponse struct {
 	Dataset   string        `json:"dataset,omitempty"`
+	Version   int64         `json:"version,omitempty"`
 	Levels    bucket.Levels `json:"levels,omitempty"`
 	Criterion string        `json:"criterion"`
 	Safe      bool          `json:"safe"`
@@ -515,7 +616,7 @@ func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
 	}
 	defer release()
 	begin := time.Now()
-	bz, _, err := s.resolve(req.bucketizationSource)
+	bz, _, version, err := s.resolve(req.bucketizationSource)
 	if err != nil {
 		writeHTTPError(w, err)
 		return
@@ -527,6 +628,7 @@ func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
 	}
 	writeJSON(w, http.StatusOK, checkResponse{
 		Dataset:   req.Dataset,
+		Version:   version,
 		Levels:    req.Levels,
 		Criterion: crit.Name(),
 		Safe:      safe,
@@ -553,6 +655,7 @@ type estimateRequest struct {
 
 type estimateResponse struct {
 	Dataset   string  `json:"dataset,omitempty"`
+	Version   int64   `json:"version,omitempty"`
 	Target    string  `json:"target"`
 	Prob      float64 `json:"prob"`
 	StdErr    float64 `json:"std_err"`
@@ -598,7 +701,7 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 	}
 	defer release()
 	begin := time.Now()
-	bz, ds, err := s.resolve(req.bucketizationSource)
+	bz, ds, version, err := s.resolve(req.bucketizationSource)
 	if err != nil {
 		writeHTTPError(w, err)
 		return
@@ -655,6 +758,7 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 	}
 	writeJSON(w, http.StatusOK, estimateResponse{
 		Dataset:   req.Dataset,
+		Version:   version,
 		Target:    target.String(),
 		Prob:      est.Prob,
 		StdErr:    est.StdErr,
@@ -776,7 +880,13 @@ func (s *Server) handleCancelJob(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, j.snapshot())
 }
 
-// ---- GET /healthz and /metrics ----
+// ---- GET /v1/openapi.yaml, /healthz and /metrics ----
+
+func (s *Server) handleOpenAPI(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/yaml; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(docs.OpenAPI)
+}
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{

@@ -39,7 +39,11 @@ type jobSpec struct {
 
 // anonymizeResult is a finished job's payload (also the JSON wire shape).
 type anonymizeResult struct {
-	Dataset   string `json:"dataset"`
+	Dataset string `json:"dataset"`
+	// Version is the dataset version the search was pinned to: appends
+	// that landed while the job ran do not affect it, and a client can
+	// tell whether the result still describes the current data.
+	Version   int64  `json:"version"`
 	Method    string `json:"method"`
 	Criterion string `json:"criterion"`
 	// QI gives the dimension order of every node below.
@@ -83,9 +87,14 @@ func (c ctxCriterion) Satisfied(bz *bucket.Bucketization) (bool, error) {
 	return c.inner.Satisfied(bz)
 }
 
-// run executes the search described by the spec.
+// run executes the search described by the spec. The whole job — search
+// and utility ranking — runs on one pinned snapshot of the dataset, so
+// appends landing mid-search never mix versions into the result; the
+// snapshot's version is reported so clients can compare it with the
+// dataset's current one.
 func (sp *jobSpec) run(ctx context.Context) (*anonymizeResult, error) {
 	crit := ctxCriterion{ctx: ctx, inner: sp.criterion}
+	snap := sp.problem.Snapshot()
 	begin := time.Now()
 	var (
 		nodes []lattice.Node
@@ -94,13 +103,13 @@ func (sp *jobSpec) run(ctx context.Context) (*anonymizeResult, error) {
 	)
 	switch sp.method {
 	case "minimal":
-		nodes, stats, err = sp.problem.MinimalSafe(crit)
+		nodes, stats, err = snap.MinimalSafe(crit)
 	case "incognito":
-		nodes, stats, err = sp.problem.MinimalSafeIncognito(crit)
+		nodes, stats, err = snap.MinimalSafeIncognito(crit)
 	case "chain":
 		var node lattice.Node
 		var ok bool
-		node, ok, stats, err = sp.problem.ChainSearch(crit)
+		node, ok, stats, err = snap.ChainSearch(crit)
 		if ok {
 			nodes = []lattice.Node{node}
 		}
@@ -112,6 +121,7 @@ func (sp *jobSpec) run(ctx context.Context) (*anonymizeResult, error) {
 	}
 	res := &anonymizeResult{
 		Dataset:   sp.dataset,
+		Version:   snap.Version(),
 		Method:    sp.method,
 		Criterion: sp.critName,
 		QI:        sp.problem.QI,
@@ -124,7 +134,7 @@ func (sp *jobSpec) run(ctx context.Context) (*anonymizeResult, error) {
 		res.Nodes[i] = []int(n.Clone())
 	}
 	if res.Exists && sp.utility != nil {
-		idx, bz, err := sp.problem.BestByUtility(nodes, sp.utility)
+		idx, bz, err := snap.BestByUtility(nodes, sp.utility)
 		if err != nil {
 			return nil, err
 		}

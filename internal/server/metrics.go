@@ -165,6 +165,22 @@ func (m *metrics) writeTo(w io.Writer, s *Server) {
 	for _, info := range infos {
 		fmt.Fprintf(w, "ckprivacyd_dataset_memo_bytes{dataset=%q} %d\n", info.name, info.ds.problem.Engine().Stats().Bytes)
 	}
+	fmt.Fprintln(w, "# HELP ckprivacyd_dataset_version Current dataset version (1 at registration, +1 per append).")
+	fmt.Fprintln(w, "# TYPE ckprivacyd_dataset_version gauge")
+	for _, info := range infos {
+		fmt.Fprintf(w, "ckprivacyd_dataset_version{dataset=%q} %d\n", info.name, info.ds.problem.Version())
+	}
+	fmt.Fprintln(w, "# HELP ckprivacyd_dataset_rows Row count of the current dataset version.")
+	fmt.Fprintln(w, "# TYPE ckprivacyd_dataset_rows gauge")
+	for _, info := range infos {
+		fmt.Fprintf(w, "ckprivacyd_dataset_rows{dataset=%q} %d\n", info.name, info.ds.problem.Rows())
+	}
+	fmt.Fprintln(w, "# HELP ckprivacyd_dataset_releases Retained recorded releases per dataset.")
+	fmt.Fprintln(w, "# TYPE ckprivacyd_dataset_releases gauge")
+	for _, info := range infos {
+		rs, _ := info.ds.releases.snapshot()
+		fmt.Fprintf(w, "ckprivacyd_dataset_releases{dataset=%q} %d\n", info.name, len(rs))
+	}
 
 	fmt.Fprintln(w, "# HELP ckprivacyd_datasets_registered Registered datasets.")
 	fmt.Fprintln(w, "# TYPE ckprivacyd_datasets_registered gauge")

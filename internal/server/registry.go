@@ -21,10 +21,17 @@ var errAlreadyRegistered = errors.New("already registered")
 // materialized once. The problem also dictionary-encodes the table and
 // compiles the hierarchies when it is built — i.e. exactly once, at
 // registration — so every subsequent job/check/disclosure request runs on
-// the columnar substrate without re-encoding.
+// the columnar substrate without re-encoding. Appends stream through the
+// problem (POST /v1/datasets/{name}/rows), which patches that warm state
+// incrementally and bumps the dataset version; releases record published
+// generalizations for the sequential-release audit.
 type dataset struct {
 	bundle  *dataload.Bundle
 	problem *anonymize.Problem
+	// appendMu serializes the row-limit check with the append itself, so
+	// racing appends cannot jointly overshoot MaxRows.
+	appendMu sync.Mutex
+	releases releaseLog
 }
 
 // registry maps dataset names to their warm state.
@@ -46,7 +53,7 @@ var nameRE = regexp.MustCompile(`^[a-zA-Z0-9][a-zA-Z0-9._-]{0,63}$`)
 // registries are errors, rejected cheaply before the Problem (lattice
 // space, caches) is built; the check repeats at insertion in case a racing
 // registration of the same name won in between.
-func (r *registry) add(name string, b *dataload.Bundle, searchWorkers int, memoMaxBytes int64) (*dataset, error) {
+func (r *registry) add(name string, b *dataload.Bundle, searchWorkers int, memoMaxBytes int64, maxReleases int) (*dataset, error) {
 	if !nameRE.MatchString(name) {
 		return nil, fmt.Errorf("invalid dataset name %q (want [a-zA-Z0-9._-], max 64 chars)", name)
 	}
@@ -61,7 +68,7 @@ func (r *registry) add(name string, b *dataload.Bundle, searchWorkers int, memoM
 	if err != nil {
 		return nil, err
 	}
-	ds := &dataset{bundle: b, problem: p}
+	ds := &dataset{bundle: b, problem: p, releases: releaseLog{max: maxReleases}}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if err := r.capacityLocked(name); err != nil {

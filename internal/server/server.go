@@ -60,6 +60,10 @@ type Config struct {
 	// the zero value — mean one worker per CPU core, matching the
 	// library-wide convention.
 	SearchWorkers int
+	// MaxReleases bounds how many published releases are retained per
+	// dataset for the sequential-release audit; the oldest is evicted past
+	// the bound (the audit then covers the retained window). Default 16.
+	MaxReleases int
 	// MemoMaxBytes bounds every disclosure-engine memo the daemon runs:
 	// the shared engine for synchronous checks on registered datasets, the
 	// engine serving inline client-chosen bucketizations, and each
@@ -103,6 +107,9 @@ func (c Config) withDefaults() Config {
 	if c.JobHistory <= 0 {
 		c.JobHistory = 256
 	}
+	if c.MaxReleases <= 0 {
+		c.MaxReleases = 16
+	}
 	// SearchWorkers is passed through: anonymize.WithWorkers and
 	// parallel.Workers already treat values below 1 as one per CPU core.
 	// MemoMaxBytes is passed through: core.NewEngineWithConfig resolves 0
@@ -122,6 +129,7 @@ type Server struct {
 	gate     chan struct{}
 	start    time.Time
 	mux      *http.ServeMux
+	patterns []string
 }
 
 // New builds a Server and starts its job workers.
@@ -158,9 +166,14 @@ func (s *Server) InlineEngine() *core.Engine { return s.inline }
 // daemon's -preload path and embedding callers use this; HTTP clients use
 // POST /v1/datasets.
 func (s *Server) Register(name string, b *dataload.Bundle) error {
-	_, err := s.registry.add(name, b, s.cfg.SearchWorkers, s.cfg.MemoMaxBytes)
+	_, err := s.registry.add(name, b, s.cfg.SearchWorkers, s.cfg.MemoMaxBytes, s.cfg.MaxReleases)
 	return err
 }
+
+// Patterns returns every method-qualified route pattern the server
+// registered on its mux, e.g. "POST /v1/disclosure". The OpenAPI coverage
+// test asserts each appears in the served spec.
+func (s *Server) Patterns() []string { return append([]string(nil), s.patterns...) }
 
 // Handler returns the service's HTTP handler.
 func (s *Server) Handler() http.Handler { return s.mux }
@@ -177,17 +190,22 @@ func (s *Server) Shutdown(ctx context.Context) error {
 // routes installs every endpoint, instrumented for metrics.
 func (s *Server) routes() {
 	handle := func(pattern string, h http.HandlerFunc) {
+		s.patterns = append(s.patterns, pattern)
 		s.mux.Handle(pattern, s.metrics.instrument(pattern, h))
 	}
 	handle("POST /v1/datasets", s.handleRegisterDataset)
 	handle("GET /v1/datasets", s.handleListDatasets)
 	handle("GET /v1/datasets/{name}", s.handleGetDataset)
+	handle("POST /v1/datasets/{name}/rows", s.handleAppendRows)
+	handle("POST /v1/datasets/{name}/releases", s.handleCreateRelease)
+	handle("GET /v1/datasets/{name}/releases", s.handleListReleases)
 	handle("POST /v1/disclosure", s.handleDisclosure)
 	handle("POST /v1/check", s.handleCheck)
 	handle("POST /v1/estimate", s.handleEstimate)
 	handle("POST /v1/anonymize", s.handleAnonymize)
 	handle("GET /v1/jobs/{id}", s.handleGetJob)
 	handle("DELETE /v1/jobs/{id}", s.handleCancelJob)
+	handle("GET /v1/openapi.yaml", s.handleOpenAPI)
 	handle("GET /healthz", s.handleHealthz)
 	handle("GET /metrics", s.handleMetrics)
 }

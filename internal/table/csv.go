@@ -2,9 +2,15 @@ package table
 
 import (
 	"encoding/csv"
+	"errors"
 	"fmt"
 	"io"
 )
+
+// ErrEmptyCSV marks a CSV input with no content at all — not even a
+// header line. Callers match it with errors.Is to distinguish an empty
+// upload from a malformed one.
+var ErrEmptyCSV = errors.New("csv input is empty (no header line)")
 
 // WriteCSV writes the table with a header row of attribute names.
 func (t *Table) WriteCSV(w io.Writer) error {
@@ -27,6 +33,9 @@ func ReadCSV(r io.Reader, s *Schema) (*Table, error) {
 	cr := csv.NewReader(r)
 	cr.FieldsPerRecord = len(s.Attrs)
 	header, err := cr.Read()
+	if err == io.EOF {
+		return nil, fmt.Errorf("table: %w", ErrEmptyCSV)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("table: read csv header: %w", err)
 	}

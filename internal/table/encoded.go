@@ -1,20 +1,35 @@
 package table
 
+import "fmt"
+
 // This file implements the columnar, dictionary-encoded view of a table.
 // The row-oriented Table remains the source of truth and the reference
-// representation; Encoded is a derived, immutable snapshot built once and
-// then shared freely across goroutines. Everything downstream that scans
-// tuples repeatedly (bucketization, the lattice searches, the serving
-// daemon's per-dataset warm state) computes over the code columns instead
-// of the row strings.
+// representation; Encoded is a derived view built once per loaded table.
+// Everything downstream that scans tuples repeatedly (bucketization, the
+// lattice searches, the serving daemon's per-dataset warm state) computes
+// over the code columns instead of the row strings.
+//
+// Since the streaming-append substrate, an Encoded is an append-only
+// *master* view: Append grows the dictionaries and code columns (and the
+// underlying Table) in place, and Snapshot pins an immutable, fixed-length
+// view that is safe to share across goroutines while the master keeps
+// growing. Codes are never reassigned: appends only ever add rows and
+// dictionary entries, so every snapshot's codes decode to the same strings
+// forever.
 //
 // Invariants:
 //   - Dicts[c].Value(Cols[c][i]) == Table.Rows[i][c] for every row i and
 //     column c: decoding always reproduces the exact original strings.
 //   - Codes are assigned in order of first appearance during the row scan,
-//     so encoding is deterministic for a given table.
-//   - An Encoded view is a snapshot: rows appended to the Table after
-//     Encode are not reflected. Callers encode once per loaded table.
+//     and appends scan their rows in order after all existing rows — so the
+//     master's encoding is byte-identical to Encode on the concatenated
+//     table.
+//   - A Snapshot never changes: its row count, code columns and dictionary
+//     lengths are pinned. Appends to the master write only beyond every
+//     pinned length, so snapshot readers and a (serialized) appender never
+//     touch the same memory.
+//   - Append itself must be serialized by the caller (anonymize.Problem
+//     holds a lock around it); concurrent readers use snapshots.
 
 // Dict is a bidirectional dictionary between one column's value strings
 // and dense uint32 codes (0..Len()-1).
@@ -40,10 +55,27 @@ func (d *Dict) intern(v string) uint32 {
 	return c
 }
 
+// view pins the dictionary's first n codes as an immutable snapshot. The
+// view drops the lookup index rather than sharing it: the master's index
+// map keeps growing under Append, and a shared map would race with
+// snapshot readers. Snapshot Code calls fall back to a linear scan, which
+// nothing on the bucketization fast path performs.
+func (d *Dict) view(n int) *Dict {
+	return &Dict{values: d.values[:n:n]}
+}
+
 // Code returns the code of v and whether v occurs in the column.
 func (d *Dict) Code(v string) (uint32, bool) {
-	c, ok := d.index[v]
-	return c, ok
+	if d.index != nil {
+		c, ok := d.index[v]
+		return c, ok
+	}
+	for i, s := range d.values {
+		if s == v {
+			return uint32(i), true
+		}
+	}
+	return 0, false
 }
 
 // Value decodes a code back to its string. It panics on out-of-range
@@ -63,7 +95,8 @@ func (d *Dict) Len() int { return len(d.values) }
 // dictionary doubles as the sensitive-value code space for per-bucket
 // histograms.
 type Encoded struct {
-	// Table is the row-oriented source the view was built from.
+	// Table is the row-oriented source the view was built from. The master
+	// view shares it with the caller: Append grows both together.
 	Table *Table
 	// Dicts holds one dictionary per column, in schema order.
 	Dicts []*Dict
@@ -90,6 +123,86 @@ func (t *Table) Encode() *Encoded {
 		}
 	}
 	return e
+}
+
+// AppendDelta reports what one Append changed: where the new rows start
+// and which dictionary codes each column gained. Callers use it to decide
+// what derived state (compiled hierarchies, cached bucketizations) needs
+// extending.
+type AppendDelta struct {
+	// Start is the row index of the first appended row.
+	Start int
+	// Rows is the total row count after the append.
+	Rows int
+	// NewCodes[c] lists the dictionary codes column c gained, in assignment
+	// order; nil when the column saw no new values.
+	NewCodes [][]uint32
+}
+
+// NewValueCount returns how many new dictionary values the append
+// introduced in column c.
+func (d *AppendDelta) NewValueCount(c int) int { return len(d.NewCodes[c]) }
+
+// Append validates rows against the schema and appends them to both the
+// underlying Table and the encoded columns, growing the per-column
+// dictionaries as new values appear. Validation runs before any mutation,
+// so a rejected batch leaves the view untouched. The returned delta names
+// every dictionary code the batch introduced.
+//
+// Append writes only beyond previously pinned lengths, so existing
+// Snapshots remain valid; it must not race with other Appends or with
+// readers of this master view (take a Snapshot for those).
+func (e *Encoded) Append(rows []Row) (AppendDelta, error) {
+	s := e.Table.Schema
+	for i, r := range rows {
+		if len(r) != len(s.Attrs) {
+			return AppendDelta{}, fmt.Errorf(
+				"table: append row %d has %d values, schema has %d attributes", i, len(r), len(s.Attrs))
+		}
+		for c, v := range r {
+			if err := s.Attrs[c].Validate(v); err != nil {
+				return AppendDelta{}, fmt.Errorf("table: append row %d: %w", i, err)
+			}
+		}
+	}
+	delta := AppendDelta{
+		Start:    len(e.Table.Rows),
+		NewCodes: make([][]uint32, len(s.Attrs)),
+	}
+	for _, r := range rows {
+		e.Table.Rows = append(e.Table.Rows, r)
+		for c, v := range r {
+			before := e.Dicts[c].Len()
+			code := e.Dicts[c].intern(v)
+			if e.Dicts[c].Len() > before {
+				delta.NewCodes[c] = append(delta.NewCodes[c], code)
+			}
+			e.Cols[c] = append(e.Cols[c], code)
+		}
+	}
+	delta.Rows = len(e.Table.Rows)
+	return delta, nil
+}
+
+// Snapshot pins the view's current contents as an immutable, fixed-length
+// Encoded that later Appends to this master cannot disturb: the row count,
+// every code column and every dictionary are capped at their current
+// lengths (three-index slices, so even an append that fits spare capacity
+// cannot write into a snapshot's range), and the snapshot's Table is a
+// same-schema view of the current row prefix. Snapshots are safe to share
+// across goroutines while the master keeps appending.
+func (e *Encoded) Snapshot() *Encoded {
+	n := e.Rows()
+	snap := &Encoded{
+		Table: &Table{Schema: e.Table.Schema, Rows: e.Table.Rows[:n:n]},
+		Dicts: make([]*Dict, len(e.Dicts)),
+		Cols:  make([][]uint32, len(e.Cols)),
+	}
+	for c := range e.Cols {
+		snap.Dicts[c] = e.Dicts[c].view(len(e.Dicts[c].values))
+		snap.Cols[c] = e.Cols[c][:n:n]
+	}
+	return snap
 }
 
 // Rows returns the number of encoded rows.
