@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet fmt fmt-check test race bench bench-json bench-compare examples serve lint docs-check
+.PHONY: all build vet fmt fmt-check test race bench bench-json bench-compare examples serve lint docs-check loadtest
 
 all: build vet fmt-check test
 
@@ -66,6 +66,15 @@ examples:
 ## example preloaded.
 serve:
 	$(GO) run ./cmd/ckprivacyd -preload hospital
+
+## loadtest drives an in-process daemon with the mixed scale workload
+## (register/append/disclosure/check/anonymize) and prints per-op p50/p99
+## latency plus append rows/s. Point LOADTEST_ARGS at a live daemon with
+## `-url http://host:8344`, or raise the scale with `-rows 1000000`.
+LOADTEST_ARGS ?= -rows 100000 -ops 400 -clients 4 -shards 0
+
+loadtest:
+	$(GO) run ./cmd/ckprivacy loadtest $(LOADTEST_ARGS)
 
 bench:
 	$(GO) test -bench=. -benchmem -run='^$$' ./...

@@ -12,6 +12,7 @@ import (
 	"ckprivacy/internal/hierarchy"
 	"ckprivacy/internal/lattice"
 	"ckprivacy/internal/logic"
+	"ckprivacy/internal/parallel"
 	"ckprivacy/internal/privacy"
 	"ckprivacy/internal/server"
 	"ckprivacy/internal/table"
@@ -138,6 +139,14 @@ func Bucketize(t *Table, hs Hierarchies, levels Levels) (*Bucketization, error) 
 // code-space histograms, byte-identical to Bucketize.
 func BucketizeEncoded(enc *EncodedTable, chs CompiledHierarchies, levels Levels) (*Bucketization, error) {
 	return bucket.FromGeneralizationEncoded(enc, chs, levels)
+}
+
+// BucketizeEncodedSharded is BucketizeEncoded with the row scan split
+// into `shards` contiguous row ranges scanned concurrently (bounded by a
+// pool of the same size) and merged — byte-identical to BucketizeEncoded
+// at every shard count; shards <= 1 is exactly the single-threaded scan.
+func BucketizeEncodedSharded(enc *EncodedTable, chs CompiledHierarchies, levels Levels, shards int) (*Bucketization, error) {
+	return bucket.FromGeneralizationEncodedSharded(enc, chs, levels, shards, parallel.NewPool(shards))
 }
 
 // CoarsenBucketization derives the bucketization at coarser levels from
@@ -285,7 +294,13 @@ type (
 	// Problem is an anonymization task over a table, hierarchies and
 	// quasi-identifiers.
 	Problem = anonymize.Problem
-	// ProblemOption configures a Problem (e.g. WithWorkers).
+	// ProblemOptions configures a Problem: search worker budget, per-scan
+	// shard budget, disclosure-memo bound, engine injection, legacy path.
+	// Build from DefaultProblemOptions and override fields.
+	ProblemOptions = anonymize.Options
+	// ProblemOption configures a Problem through the legacy functional
+	// options (WithWorkers etc.); new code should fill a ProblemOptions
+	// and call NewProblemWithOptions.
 	ProblemOption = anonymize.Option
 	// Node is a generalization level per quasi-identifier.
 	Node = lattice.Node
@@ -295,33 +310,67 @@ type (
 	SearchStats = lattice.Stats
 )
 
+// DefaultProblemOptions returns the configuration NewProblem uses when no
+// options are given: serial search, single-threaded scans, default memo
+// bound, encoded path on.
+func DefaultProblemOptions() ProblemOptions { return anonymize.DefaultOptions() }
+
 // NewProblem validates an anonymization task; qi fixes the lattice's
 // dimension order.
 func NewProblem(t *Table, hs Hierarchies, qi []string, opts ...ProblemOption) (*Problem, error) {
 	return anonymize.NewProblem(t, hs, qi, opts...)
 }
 
-// WithWorkers sets the lattice searches' worker budget: each level of the
-// generalization lattice is safety-checked on up to n goroutines (n <= 0
-// means one per CPU core; the default is 1). The nodes returned by every
-// search are byte-identical at every worker count, and the level-wise
-// searches (MinimalSafe, MinimalSafeIncognito) also report identical
-// SearchStats; ChainSearch's multi-section variant probes different chain
-// positions per round, so its Evaluated count varies with the budget.
+// NewProblemWithOptions is NewProblem with the configuration spelled out
+// as a ProblemOptions struct.
+func NewProblemWithOptions(t *Table, hs Hierarchies, qi []string, o ProblemOptions) (*Problem, error) {
+	return anonymize.NewProblemWithOptions(t, hs, qi, o)
+}
+
+// WithWorkers sets ProblemOptions.Workers, the lattice searches' worker
+// budget: each level of the generalization lattice is safety-checked on up
+// to n goroutines (n <= 0 means one per CPU core; the default is 1). The
+// nodes returned by every search are byte-identical at every worker count,
+// and the level-wise searches (MinimalSafe, MinimalSafeIncognito) also
+// report identical SearchStats; ChainSearch's multi-section variant probes
+// different chain positions per round, so its Evaluated count varies with
+// the budget.
+//
+// Deprecated: set ProblemOptions.Workers and use NewProblemWithOptions.
 func WithWorkers(n int) ProblemOption { return anonymize.WithWorkers(n) }
 
-// WithMemoBytes bounds the problem-scoped disclosure engine's memo (see
-// EngineConfig.MemoMaxBytes); Problem.Engine returns that engine for wiring
-// into CKSafety criteria checked against the problem.
+// WithShardWorkers sets ProblemOptions.ShardWorkers, the parallelism
+// budget within one bucketization: each full row scan splits into up to n
+// contiguous row shards scanned concurrently and merged byte-identically
+// (n <= 0 means one shard per CPU core; the default is 1).
+//
+// Deprecated: set ProblemOptions.ShardWorkers and use
+// NewProblemWithOptions.
+func WithShardWorkers(n int) ProblemOption { return anonymize.WithShardWorkers(n) }
+
+// WithMemoBytes sets ProblemOptions.MemoMaxBytes, bounding the
+// problem-scoped disclosure engine's memo (see EngineConfig.MemoMaxBytes);
+// Problem.Engine returns that engine for wiring into CKSafety criteria
+// checked against the problem.
+//
+// Deprecated: set ProblemOptions.MemoMaxBytes and use
+// NewProblemWithOptions.
 func WithMemoBytes(n int64) ProblemOption { return anonymize.WithMemoBytes(n) }
 
-// WithEngine injects a fully configured (or shared) engine as the
-// problem-scoped engine, overriding WithMemoBytes.
+// WithEngine sets ProblemOptions.Engine, injecting a fully configured (or
+// shared) engine as the problem-scoped engine and overriding
+// WithMemoBytes.
+//
+// Deprecated: set ProblemOptions.Engine and use NewProblemWithOptions.
 func WithEngine(e *Engine) ProblemOption { return anonymize.WithEngine(e) }
 
-// WithLegacyBucketize disables the problem's columnar encoded path and
-// runs every bucketization as a row-by-row string scan. It exists for
-// parity testing and benchmarking against the reference implementation.
+// WithLegacyBucketize sets ProblemOptions.LegacyBucketize, disabling the
+// problem's columnar encoded path so every bucketization runs as a
+// row-by-row string scan. It exists for parity testing and benchmarking
+// against the reference implementation.
+//
+// Deprecated: set ProblemOptions.LegacyBucketize and use
+// NewProblemWithOptions.
 func WithLegacyBucketize() ProblemOption { return anonymize.WithLegacyBucketize() }
 
 // ProblemEncoding describes a problem's columnar state (whether the

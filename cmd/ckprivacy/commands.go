@@ -43,6 +43,7 @@ func cmdDisclose(args []string) error {
 	witness := fs.Bool("witness", false, "print a worst-case knowledge formula")
 	crossOnly := fs.Bool("cross-bucket", false,
 		"restrict antecedents to other buckets (paper §2.3 variant)")
+	shards := shardsFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -54,7 +55,7 @@ func cmdDisclose(args []string) error {
 	if err != nil {
 		return err
 	}
-	bz, err := b.Bucketize(levels)
+	bz, err := b.BucketizeSharded(levels, *shards)
 	if err != nil {
 		return err
 	}
@@ -98,6 +99,7 @@ func cmdSafe(args []string) error {
 	legacy := fs.Bool("legacy", false,
 		"bucketize on the row-by-row string path instead of the encoded columnar path")
 	workers := workersFlag(fs)
+	shards := shardsFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -105,11 +107,11 @@ func cmdSafe(args []string) error {
 	if err != nil {
 		return err
 	}
-	opts := []ckprivacy.ProblemOption{ckprivacy.WithWorkers(*workers)}
-	if *legacy {
-		opts = append(opts, ckprivacy.WithLegacyBucketize())
-	}
-	p, err := ckprivacy.NewProblem(b.Table, b.Hierarchies, b.QI, opts...)
+	o := ckprivacy.DefaultProblemOptions()
+	o.Workers = *workers
+	o.ShardWorkers = *shards
+	o.LegacyBucketize = *legacy
+	p, err := ckprivacy.NewProblemWithOptions(b.Table, b.Hierarchies, b.QI, o)
 	if err != nil {
 		return err
 	}

@@ -68,6 +68,13 @@ func workersFlag(fs *flag.FlagSet) *int {
 	return fs.Int("workers", 1, "worker goroutines (<= 0 means one per CPU core)")
 }
 
+// shardsFlag registers the shared -shards flag: the bucketization scan
+// splits the table into this many contiguous row ranges scanned
+// concurrently; the merged result is byte-identical to the serial scan.
+func shardsFlag(fs *flag.FlagSet) *int {
+	return fs.Int("shards", 1, "bucketization scan shards (<= 0 means one per CPU core)")
+}
+
 // parseLevels parses "Age=3,MaritalStatus=2,Race=1,Sex=1" into Levels.
 func parseLevels(s string) (ckprivacy.Levels, error) {
 	levels := ckprivacy.Levels{}

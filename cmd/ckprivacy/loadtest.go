@@ -1,0 +1,86 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"ckprivacy/internal/loadtest"
+	"ckprivacy/internal/server"
+)
+
+// cmdLoadtest is the scale harness: it drives a ckprivacyd (an external
+// one via -url, or an in-process daemon it spins up itself) with mixed
+// register/append/disclosure/check/anonymize traffic and reports
+// per-operation p50/p99 latency plus append throughput. SIGINT/SIGTERM
+// drain cleanly: no new operations start, in-flight ones finish, and the
+// partial report is still printed.
+func cmdLoadtest(args []string) error {
+	fs := flag.NewFlagSet("loadtest", flag.ContinueOnError)
+	var (
+		url     = fs.String("url", "", "ckprivacyd base URL (empty starts an in-process daemon)")
+		rows    = fs.Int("rows", 20000, "synthetic row budget: half registered up front, half streamed via appends")
+		clients = fs.Int("clients", 4, "concurrent client goroutines")
+		ops     = fs.Int("ops", 200, "total operation budget across clients")
+		seed    = fs.Int64("seed", 1, "synthetic generator seed")
+		batch   = fs.Int("append-batch", 64, "rows per append operation")
+		k       = fs.Int("k", 2, "largest background-knowledge bound used by disclosure operations")
+		dataset = fs.String("dataset", "loadtest", "name to register the synthetic dataset under")
+		shards  = shardsFlag(fs)
+		asJSON  = fs.Bool("json", false, "emit the report as JSON")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	base := *url
+	if base == "" {
+		// In-process daemon on a loopback port; the embedded server honours
+		// the -shards budget so the harness exercises sharded scans.
+		srv := server.New(server.Config{ShardWorkers: *shards, MaxRows: *rows + 1000})
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		httpSrv := &http.Server{Handler: srv.Handler()}
+		go func() { _ = httpSrv.Serve(ln) }()
+		defer func() {
+			drainCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			defer cancel()
+			_ = httpSrv.Shutdown(drainCtx)
+			_ = srv.Shutdown(drainCtx)
+		}()
+		base = "http://" + ln.Addr().String()
+		fmt.Fprintf(os.Stderr, "loadtest: in-process daemon on %s\n", base)
+	}
+
+	res, err := loadtest.Run(ctx, loadtest.Config{
+		BaseURL:     base,
+		Dataset:     *dataset,
+		Rows:        *rows,
+		Seed:        *seed,
+		Clients:     *clients,
+		Ops:         *ops,
+		AppendBatch: *batch,
+		K:           *k,
+	})
+	if err != nil {
+		return err
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(res)
+	}
+	return res.Render(os.Stdout)
+}

@@ -1,0 +1,53 @@
+package main
+
+import (
+	"os"
+	"os/signal"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestLoadtestCommand runs the harness end to end against its in-process
+// daemon: a tiny budget must complete cleanly.
+func TestLoadtestCommand(t *testing.T) {
+	args := []string{"loadtest", "-rows", "400", "-clients", "2", "-ops", "20", "-json"}
+	if err := run(args); err != nil {
+		t.Fatalf("run(%v): %v", args, err)
+	}
+}
+
+// TestLoadtestCommandSIGTERMDrain sends the command a real SIGTERM
+// mid-run: it must stop issuing operations, drain, print the partial
+// report and return nil — the daemon-driving half of the graceful
+// shutdown contract.
+func TestLoadtestCommandSIGTERMDrain(t *testing.T) {
+	// Keep SIGTERM handled for the whole test so the default
+	// process-killing disposition can never win the race with cmdLoadtest's
+	// own signal.NotifyContext registration.
+	guard := make(chan os.Signal, 1)
+	signal.Notify(guard, syscall.SIGTERM)
+	defer signal.Stop(guard)
+
+	done := make(chan error, 1)
+	go func() {
+		// An op budget far beyond what 2 clients finish before the signal.
+		done <- run([]string{"loadtest", "-rows", "2000", "-clients", "2", "-ops", "1000000"})
+	}()
+
+	// Let the command register its handler and start serving traffic, then
+	// deliver the signal.
+	time.Sleep(300 * time.Millisecond)
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("loadtest did not drain cleanly: %v", err)
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("loadtest did not exit within 60s of SIGTERM")
+	}
+}

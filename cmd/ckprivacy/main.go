@@ -9,6 +9,7 @@
 //	ckprivacy fig5     — regenerate the paper's Figure 5
 //	ckprivacy fig6     — regenerate the paper's Figure 6
 //	ckprivacy example  — walk the paper's §1 worked example
+//	ckprivacy loadtest — drive a ckprivacyd with mixed traffic at scale
 //
 // Run "ckprivacy <command> -h" for per-command flags. The compute-heavy
 // commands (safe, grid, risk, estimate, fig5, fig6) accept -workers to run
@@ -52,6 +53,8 @@ func run(args []string) error {
 		return cmdFig6(rest)
 	case "example":
 		return cmdExample(rest)
+	case "loadtest":
+		return cmdLoadtest(rest)
 	case "-h", "--help", "help":
 		usage()
 		return nil
@@ -74,5 +77,6 @@ commands:
   fig5      regenerate Figure 5 (disclosure vs background knowledge)
   fig6      regenerate Figure 6 (entropy vs disclosure)
   example   walk the paper's worked example
+  loadtest  drive a ckprivacyd with mixed traffic; report p50/p99 + rows/s
 `)
 }

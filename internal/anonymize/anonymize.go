@@ -59,12 +59,15 @@ type Problem struct {
 	// dimension order.
 	QI []string
 
-	space     lattice.Space
-	workers   int
-	memoBytes int64
-	legacy    bool
+	space lattice.Space
+	opts  Options
 
 	engine *core.Engine
+	// shardPool bounds the total extra goroutines of all concurrent sharded
+	// bucketize scans on this problem. Node-level search workers submit
+	// their shard work to this one pool; its never-block design is what
+	// makes the node×shard nesting deadlock-free (see parallel.Pool).
+	shardPool *parallel.Pool
 
 	// master is the append-only encoded view shared by all versions; nil
 	// when the problem runs the legacy string path. appendMu serializes
@@ -74,44 +77,119 @@ type Problem struct {
 	cur      atomic.Pointer[state]
 }
 
-// Option configures a Problem at construction.
-type Option func(*Problem)
+// Options configures a Problem at construction. The zero value resolves
+// like DefaultOptions() except where a field documents otherwise; build
+// from DefaultOptions() and override fields rather than relying on zero
+// values.
+type Options struct {
+	// Workers is the worker budget of the lattice searches: node predicates
+	// of one lattice level are bucketized and safety-checked on up to this
+	// many goroutines. Values < 1 mean one worker per CPU core. The default
+	// is 1 (fully serial). Every search returns byte-identical nodes at
+	// every worker count; the level-wise searches also report identical
+	// Stats, while ChainSearch's Evaluated count varies with the budget
+	// (multi-section probing).
+	Workers int
 
-// WithWorkers sets the worker budget for the lattice searches: node
-// predicates of one lattice level are bucketized and safety-checked on up
-// to n goroutines. n <= 0 means one worker per CPU core. The default is 1
-// (fully serial). Every search returns byte-identical nodes at every
-// worker count; the level-wise searches also report identical Stats, while
-// ChainSearch's Evaluated count varies with the budget (multi-section
-// probing).
+	// ShardWorkers is the parallelism budget *within* one bucketization:
+	// the encoded row scan splits into this many contiguous row shards,
+	// scanned concurrently and merged byte-identically. Values < 1 mean one
+	// shard per CPU core; 1 (the default) keeps every scan single-threaded.
+	// All concurrent scans of the problem share one bounded pool of this
+	// size, so searches running Workers node predicates at once still never
+	// exceed Workers × ShardWorkers goroutines, and nested submission
+	// cannot deadlock. Small tables are scanned serially regardless
+	// (sharding costs more than it saves below ~10k rows); results are
+	// byte-identical at every setting.
+	ShardWorkers int
+
+	// MemoMaxBytes bounds the problem-scoped disclosure engine's MINIMIZE1
+	// memo (see core.EngineConfig.MemoMaxBytes): 0 means the core default,
+	// negative disables the bound. The engine is what Engine returns;
+	// callers wiring their own engines into criteria are unaffected.
+	MemoMaxBytes int64
+
+	// Engine injects a fully configured (or shared) disclosure engine as
+	// the problem-scoped engine, overriding MemoMaxBytes.
+	Engine *core.Engine
+
+	// LegacyBucketize disables the columnar encoded path: every
+	// bucketization runs the row-by-row string scan (and ShardWorkers is
+	// ignored — the legacy path never shards). The encoded path is
+	// byte-identical and much faster; this switch exists for parity tests
+	// and benchmarks against the reference implementation.
+	LegacyBucketize bool
+}
+
+// DefaultOptions returns the options NewProblem uses when none are given:
+// serial lattice search, single-threaded scans, default memo bound,
+// encoded path on.
+func DefaultOptions() Options {
+	return Options{Workers: 1, ShardWorkers: 1}
+}
+
+// resolved normalizes the options: worker budgets materialize their
+// per-core defaults so accessors report actual counts.
+func (o Options) resolved() Options {
+	o.Workers = parallel.Workers(o.Workers)
+	o.ShardWorkers = parallel.Workers(o.ShardWorkers)
+	return o
+}
+
+// Option configures a Problem at construction by mutating its Options.
+// The named With* constructors predate the Options struct and remain as
+// thin wrappers; new code should fill an Options and call
+// NewProblemWithOptions.
+type Option func(*Options)
+
+// WithWorkers sets Options.Workers.
+//
+// Deprecated: set Options.Workers and use NewProblemWithOptions.
 func WithWorkers(n int) Option {
-	return func(p *Problem) { p.workers = parallel.Workers(n) }
+	return func(o *Options) { o.Workers = n }
 }
 
-// WithMemoBytes bounds the problem-scoped disclosure engine's MINIMIZE1
-// memo (see core.EngineConfig.MemoMaxBytes): 0 means the core default,
-// negative disables the bound. The engine is what Engine returns; callers
-// wiring their own engines into criteria are unaffected.
+// WithShardWorkers sets Options.ShardWorkers.
+//
+// Deprecated: set Options.ShardWorkers and use NewProblemWithOptions.
+func WithShardWorkers(n int) Option {
+	return func(o *Options) { o.ShardWorkers = n }
+}
+
+// WithMemoBytes sets Options.MemoMaxBytes.
+//
+// Deprecated: set Options.MemoMaxBytes and use NewProblemWithOptions.
 func WithMemoBytes(n int64) Option {
-	return func(p *Problem) { p.memoBytes = n }
+	return func(o *Options) { o.MemoMaxBytes = n }
 }
 
-// WithEngine injects a fully configured (or shared) disclosure engine as
-// the problem-scoped engine, overriding WithMemoBytes.
+// WithEngine sets Options.Engine.
+//
+// Deprecated: set Options.Engine and use NewProblemWithOptions.
 func WithEngine(e *core.Engine) Option {
-	return func(p *Problem) { p.engine = e }
+	return func(o *Options) { o.Engine = e }
 }
 
-// WithLegacyBucketize disables the columnar encoded path: every
-// bucketization runs the row-by-row string scan. The encoded path is
-// byte-identical and much faster; this option exists for parity tests and
-// benchmarks against the reference implementation.
+// WithLegacyBucketize sets Options.LegacyBucketize.
+//
+// Deprecated: set Options.LegacyBucketize and use NewProblemWithOptions.
 func WithLegacyBucketize() Option {
-	return func(p *Problem) { p.legacy = true }
+	return func(o *Options) { o.LegacyBucketize = true }
 }
 
-// NewProblem validates the inputs and precomputes the lattice shape.
+// NewProblem validates the inputs and precomputes the lattice shape,
+// configured by functional options over DefaultOptions.
 func NewProblem(t *table.Table, hs hierarchy.Set, qi []string, opts ...Option) (*Problem, error) {
+	o := DefaultOptions()
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return NewProblemWithOptions(t, hs, qi, o)
+}
+
+// NewProblemWithOptions is NewProblem with the configuration spelled out
+// as a struct.
+func NewProblemWithOptions(t *table.Table, hs hierarchy.Set, qi []string, o Options) (*Problem, error) {
 	if t == nil || t.Len() == 0 {
 		return nil, fmt.Errorf("anonymize: empty table")
 	}
@@ -140,13 +218,14 @@ func NewProblem(t *table.Table, hs hierarchy.Set, qi []string, opts ...Option) (
 		Hierarchies: hs,
 		QI:          append([]string(nil), qi...),
 		space:       space,
-		workers:     1,
+		opts:        o.resolved(),
 	}
-	for _, opt := range opts {
-		opt(p)
-	}
+	p.engine = p.opts.Engine
 	if p.engine == nil {
-		p.engine = core.NewEngineWithConfig(core.EngineConfig{MemoMaxBytes: p.memoBytes})
+		p.engine = core.NewEngineWithConfig(core.EngineConfig{MemoMaxBytes: p.opts.MemoMaxBytes})
+	}
+	if p.opts.ShardWorkers > 1 {
+		p.shardPool = parallel.NewPool(p.opts.ShardWorkers)
 	}
 	// The version-1 row view is pinned ([:n:n]) on every path — including
 	// the legacy one — so a snapshot taken before the first Append can
@@ -156,7 +235,7 @@ func NewProblem(t *table.Table, hs hierarchy.Set, qi []string, opts ...Option) (
 		tab:     &table.Table{Schema: t.Schema, Rows: t.Rows[:len(t.Rows):len(t.Rows)]},
 		cache:   newBucketizeCache(),
 	}
-	if !p.legacy {
+	if !p.opts.LegacyBucketize {
 		// Encode once per problem; every bucketization, search and serving
 		// request on this problem reuses the columnar view. Compilation
 		// fails only when a table value is unknown to its hierarchy — the
@@ -252,8 +331,16 @@ func (p *Problem) NodeForLevels(levels bucket.Levels) (lattice.Node, error) {
 	return node, nil
 }
 
-// Workers returns the resolved worker budget (at least 1).
-func (p *Problem) Workers() int { return p.workers }
+// Workers returns the resolved lattice-search worker budget (at least 1).
+func (p *Problem) Workers() int { return p.opts.Workers }
+
+// Options returns the problem's resolved configuration: worker budgets
+// materialized to actual counts, Engine set to the problem-scoped engine.
+func (p *Problem) Options() Options {
+	o := p.opts
+	o.Engine = p.engine
+	return o
+}
 
 // Snapshot pins the problem's current version: every Bucketize and search
 // on the returned Snapshot computes over exactly the rows, dictionaries
@@ -367,13 +454,38 @@ func (s *Snapshot) materialize(levels bucket.Levels) (*bucket.Bucketization, err
 	if fine := st.sources.best(vec); fine != nil {
 		bz, err = bucket.Coarsen(fine, st.enc, st.compiled, levels)
 	} else {
-		bz, err = bucket.FromGeneralizationEncoded(st.enc, st.compiled, levels)
+		bz, err = bucket.FromGeneralizationEncodedSharded(
+			st.enc, st.compiled, levels, s.scanShards(), s.p.shardPool)
 	}
 	if err != nil {
 		return nil, err
 	}
 	st.sources.add(vec, bz)
 	return bz, nil
+}
+
+// minRowsPerShard is the row count below which a sharded scan stops
+// paying for its merge: shard counts are clamped so every shard scans at
+// least this many rows. Results are byte-identical at every shard count;
+// this only bounds overhead on small tables. A variable so parity tests
+// can force sharding on small fixtures.
+var minRowsPerShard = 8192
+
+// scanShards resolves the shard count for one full row scan of the
+// pinned version: the configured ShardWorkers budget, clamped so shards
+// stay usefully large.
+func (s *Snapshot) scanShards() int {
+	shards := s.p.opts.ShardWorkers
+	if shards <= 1 {
+		return 1
+	}
+	if byRows := s.st.tab.Len() / minRowsPerShard; byRows < shards {
+		shards = byRows
+	}
+	if shards < 1 {
+		return 1
+	}
+	return shards
 }
 
 // Pred adapts a privacy criterion to a lattice predicate over full nodes.
@@ -393,10 +505,10 @@ func (s *Snapshot) Pred(crit privacy.Criterion) lattice.Pred {
 // concurrent calls when the budget exceeds 1 (all criteria in
 // internal/privacy are).
 func (s *Snapshot) MinimalSafe(crit privacy.Criterion) ([]lattice.Node, lattice.Stats, error) {
-	if s.p.workers == 1 {
+	if s.p.opts.Workers == 1 {
 		return lattice.MinimalSatisfying(s.p.space, s.Pred(crit))
 	}
-	return lattice.MinimalSatisfyingParallel(s.p.space, s.Pred(crit), s.p.workers)
+	return lattice.MinimalSatisfyingParallel(s.p.space, s.Pred(crit), s.p.opts.Workers)
 }
 
 // MinimalSafeIncognito returns the same minimal nodes via Incognito's
@@ -410,10 +522,10 @@ func (s *Snapshot) MinimalSafeIncognito(crit privacy.Criterion) ([]lattice.Node,
 		}
 		return crit.Satisfied(bz)
 	}
-	if s.p.workers == 1 {
+	if s.p.opts.Workers == 1 {
 		return lattice.Incognito(s.p.space, check)
 	}
-	return lattice.IncognitoParallel(s.p.space, check, s.p.workers)
+	return lattice.IncognitoParallel(s.p.space, check, s.p.opts.Workers)
 }
 
 // ChainSearch searches the canonical chain from the most specific to the
@@ -428,10 +540,10 @@ func (s *Snapshot) ChainSearch(crit privacy.Criterion) (lattice.Node, bool, latt
 		stats lattice.Stats
 		err   error
 	)
-	if s.p.workers == 1 {
+	if s.p.opts.Workers == 1 {
 		idx, stats, err = lattice.BinarySearchChain(chain, s.Pred(crit))
 	} else {
-		idx, stats, err = lattice.BinarySearchChainParallel(chain, s.Pred(crit), s.p.workers)
+		idx, stats, err = lattice.BinarySearchChainParallel(chain, s.Pred(crit), s.p.opts.Workers)
 	}
 	if err != nil {
 		return nil, false, stats, err
@@ -450,7 +562,7 @@ func (s *Snapshot) BestByUtility(nodes []lattice.Node, m utility.Metric) (int, *
 		return -1, nil, fmt.Errorf("anonymize: no candidate nodes")
 	}
 	bzs := make([]*bucket.Bucketization, len(nodes))
-	err := parallel.ForEach(s.p.workers, len(nodes), func(i int) error {
+	err := parallel.ForEach(s.p.opts.Workers, len(nodes), func(i int) error {
 		bz, err := s.Bucketize(nodes[i])
 		if err != nil {
 			return err

@@ -258,43 +258,11 @@ func finishGroups(enc *table.Encoded, dims []dim, groups []*egroup) *Bucketizati
 // FromGeneralizationEncoded is FromGeneralization over the encoded view:
 // the same partition, keys, tuple order and histograms, computed with one
 // LUT index per row and dimension instead of per-row map lookups and
-// string joins.
+// string joins. It is the one-shard case of the row-sharded scan in
+// shard.go, which is the single scan-loop implementation for every shard
+// count.
 func FromGeneralizationEncoded(enc *table.Encoded, chs hierarchy.CompiledSet, levels Levels) (*Bucketization, error) {
-	dims, err := buildDims(enc, chs, levels)
-	if err != nil {
-		return nil, err
-	}
-	rows := enc.Rows()
-	sens := enc.SensitiveCol()
-	scard := enc.SensitiveDict().Len()
-	var groups []*egroup
-	if packable(dims) {
-		byKey := make(map[uint64]*egroup)
-		for row := 0; row < rows; row++ {
-			key := packKey(dims, row)
-			g := byKey[key]
-			if g == nil {
-				g = newEgroup(row, scard)
-				byKey[key] = g
-				groups = append(groups, g)
-			}
-			g.addRow(row, sens)
-		}
-	} else {
-		byKey := make(map[string]*egroup)
-		buf := make([]byte, 4*len(dims))
-		for row := 0; row < rows; row++ {
-			appendTupleKey(dims, row, buf)
-			g := byKey[string(buf)]
-			if g == nil {
-				g = newEgroup(row, scard)
-				byKey[string(buf)] = g
-				groups = append(groups, g)
-			}
-			g.addRow(row, sens)
-		}
-	}
-	return finishGroups(enc, dims, groups), nil
+	return FromGeneralizationEncodedSharded(enc, chs, levels, 1, nil)
 }
 
 // Coarsen derives the bucketization at the given levels from an

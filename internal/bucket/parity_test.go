@@ -202,10 +202,12 @@ func TestEncodedParityPaperExample(t *testing.T) {
 	}
 }
 
-// TestEncodedFallbackKeyPath forces the byte-tuple fallback (the
-// cardinality product overflows 64 bits) and checks it still groups
-// byte-identically.
-func TestEncodedFallbackKeyPath(t *testing.T) {
+// fallbackCase builds the fixture that forces the byte-tuple key fallback:
+// 300 distinct values in each of 8 numeric QI columns, so the generalized
+// cardinality product at level 0 (300^8 ≈ 6.6e19) overflows 64 bits and
+// the builder cannot take the packed-key path.
+func fallbackCase(t *testing.T) (*table.Table, hierarchy.Set) {
+	t.Helper()
 	const nQI = 8
 	attrs := make([]table.Attribute, 0, nQI+1)
 	hs := hierarchy.Set{}
@@ -221,8 +223,6 @@ func TestEncodedFallbackKeyPath(t *testing.T) {
 	}
 	tab := table.New(s)
 	rng := rand.New(rand.NewSource(11))
-	// 300 distinct values per column: 300^8 ≈ 6.6e19 > 2^64 — the packed
-	// path would overflow, so the builder must take the byte-tuple path.
 	for r := 0; r < 300; r++ {
 		row := make(table.Row, nQI+1)
 		for c := 0; c < nQI; c++ {
@@ -231,6 +231,14 @@ func TestEncodedFallbackKeyPath(t *testing.T) {
 		row[nQI] = []string{"a", "b"}[rng.Intn(2)]
 		tab.MustAppend(row)
 	}
+	return tab, hs
+}
+
+// TestEncodedFallbackKeyPath forces the byte-tuple fallback (the
+// cardinality product overflows 64 bits) and checks it still groups
+// byte-identically.
+func TestEncodedFallbackKeyPath(t *testing.T) {
+	tab, hs := fallbackCase(t)
 	enc := tab.Encode()
 	chs, err := CompileHierarchies(enc, hs)
 	if err != nil {

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 	"sync"
@@ -19,6 +20,7 @@ import (
 	"ckprivacy/internal/dataset/adult"
 	"ckprivacy/internal/experiments"
 	"ckprivacy/internal/hierarchy"
+	"ckprivacy/internal/parallel"
 	"ckprivacy/internal/table"
 )
 
@@ -84,13 +86,28 @@ func (b *Bundle) Namer() func(int) string {
 // empty means DefaultLevels), over the bundle's encoded view when it is
 // available.
 func (b *Bundle) Bucketize(levels bucket.Levels) (*bucket.Bucketization, error) {
+	return b.BucketizeSharded(levels, 1)
+}
+
+// BucketizeSharded is Bucketize with the encoded scan split across shards
+// contiguous row ranges, scanned concurrently and merged byte-identically
+// with the serial result (values below 1 mean one shard per CPU core).
+// Bundles without an encoded view fall back to the serial string path.
+func (b *Bundle) BucketizeSharded(levels bucket.Levels, shards int) (*bucket.Bucketization, error) {
 	if len(levels) == 0 {
 		levels = b.DefaultLevels
 	}
-	if enc, chs, ok := b.Encoded(); ok {
+	enc, chs, ok := b.Encoded()
+	if !ok {
+		return bucket.FromGeneralization(b.Table, b.Hierarchies, levels)
+	}
+	if shards < 1 {
+		shards = runtime.GOMAXPROCS(0)
+	}
+	if shards == 1 {
 		return bucket.FromGeneralizationEncoded(enc, chs, levels)
 	}
-	return bucket.FromGeneralization(b.Table, b.Hierarchies, levels)
+	return bucket.FromGeneralizationEncodedSharded(enc, chs, levels, shards, parallel.NewPool(shards))
 }
 
 // Adult loads an Adult-schema bundle: from the CSV file at path when path

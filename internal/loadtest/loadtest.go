@@ -1,0 +1,431 @@
+// Package loadtest drives a running ckprivacyd with mixed traffic — the
+// scale harness behind "ckprivacy loadtest". It registers an ACS-style
+// synthetic dataset (internal/synth), then fans concurrent clients over a
+// weighted operation mix (disclosure, safety checks, streaming appends,
+// dataset reads, anonymization jobs and throwaway registrations) and
+// reports per-operation p50/p99 latency plus append throughput in rows/s.
+// Cancelling the context drains cleanly: clients stop picking up new
+// operations, in-flight ones finish, and the partial result is returned.
+package loadtest
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"ckprivacy/internal/synth"
+)
+
+// Config parameterizes a run. The zero value of every field but BaseURL
+// resolves to the documented default.
+type Config struct {
+	// BaseURL is the daemon to drive, e.g. "http://localhost:8344".
+	// Required.
+	BaseURL string
+	// Dataset names the registered synthetic dataset. Default "loadtest".
+	Dataset string
+	// Rows is the total synthetic row budget: half is registered up front,
+	// the other half streams in through append operations. Default 20000.
+	Rows int
+	// Seed drives the synthetic generator (and so the whole workload's
+	// data). Default 1.
+	Seed int64
+	// Clients is the number of concurrent client goroutines. Default 4.
+	Clients int
+	// Ops is the total operation budget across all clients. Default 200.
+	Ops int
+	// AppendBatch is the rows-per-append batch size. Default 64.
+	AppendBatch int
+	// K is the largest background-knowledge bound disclosure operations
+	// use (each op draws from [1, K]). Default 2.
+	K int
+	// Client overrides the HTTP client (tests inject the httptest one).
+	Client *http.Client
+}
+
+func (c Config) withDefaults() Config {
+	if c.Dataset == "" {
+		c.Dataset = "loadtest"
+	}
+	if c.Rows <= 0 {
+		c.Rows = 20000
+	}
+	if c.Clients <= 0 {
+		c.Clients = 4
+	}
+	if c.Ops <= 0 {
+		c.Ops = 200
+	}
+	if c.AppendBatch <= 0 {
+		c.AppendBatch = 64
+	}
+	if c.K <= 0 {
+		c.K = 2
+	}
+	if c.Client == nil {
+		c.Client = http.DefaultClient
+	}
+	return c
+}
+
+// OpStats summarizes one operation kind's latencies.
+type OpStats struct {
+	Name   string  `json:"name"`
+	Count  int     `json:"count"`
+	Errors int     `json:"errors"`
+	P50MS  float64 `json:"p50_ms"`
+	P99MS  float64 `json:"p99_ms"`
+	MaxMS  float64 `json:"max_ms"`
+}
+
+// Result is one run's report.
+type Result struct {
+	Dataset        string    `json:"dataset"`
+	Rows           int       `json:"rows"`
+	RegisteredRows int       `json:"registered_rows"`
+	AppendedRows   int       `json:"appended_rows"`
+	Clients        int       `json:"clients"`
+	ElapsedSeconds float64   `json:"elapsed_seconds"`
+	TotalOps       int       `json:"total_ops"`
+	Errors         int       `json:"errors"`
+	OpsPerSec      float64   `json:"ops_per_sec"`
+	AppendRowsPS   float64   `json:"append_rows_per_sec"`
+	Drained        bool      `json:"drained"`
+	Ops            []OpStats `json:"ops"`
+}
+
+// opMix is the weighted operation mix, one entry per slot of a
+// 20-operation cycle; clients walk the cycle by global op index so the
+// blend is stable whatever the client count.
+var opMix = []string{
+	"disclosure", "disclosure", "disclosure", "disclosure", "disclosure",
+	"disclosure", "disclosure", "check", "check", "check",
+	"check", "check", "append", "append", "append",
+	"append", "info", "info", "anonymize", "register",
+}
+
+// runner is one run's shared state.
+type runner struct {
+	cfg Config
+
+	mu      sync.Mutex
+	gen     *synth.Generator // remaining append stream, guarded by mu
+	lat     map[string][]time.Duration
+	errs    map[string]int
+	appends int // rows successfully appended
+	tmpSeq  int // throwaway-registration counter
+}
+
+// Run executes the workload against cfg.BaseURL. Cancelling ctx stops
+// clients from starting new operations (in-flight ones finish) and
+// returns the partial result with Drained set.
+func Run(ctx context.Context, cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	if cfg.BaseURL == "" {
+		return nil, fmt.Errorf("loadtest: BaseURL is required")
+	}
+	gen, err := synth.New(synth.Config{Rows: cfg.Rows, Seed: cfg.Seed})
+	if err != nil {
+		return nil, err
+	}
+	r := &runner{
+		cfg:  cfg,
+		gen:  gen,
+		lat:  make(map[string][]time.Duration),
+		errs: make(map[string]int),
+	}
+
+	// Register the dataset with the first half of the stream; the rest
+	// feeds the append operations.
+	initial := gen.Next(cfg.Rows / 2)
+	spec := synth.Spec(gen.Config(), initial)
+	status, body, err := r.post(ctx, "/v1/datasets",
+		map[string]any{"name": cfg.Dataset, "spec": spec})
+	if err != nil {
+		return nil, fmt.Errorf("loadtest: register: %w", err)
+	}
+	if status != http.StatusCreated {
+		return nil, fmt.Errorf("loadtest: register %q: HTTP %d: %s", cfg.Dataset, status, body)
+	}
+
+	begin := time.Now()
+	next := make(chan int) // global op index, closed when the budget is spent
+	go func() {
+		defer close(next)
+		for i := 0; i < cfg.Ops; i++ {
+			select {
+			case next <- i:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	var wg sync.WaitGroup
+	for c := 0; c < cfg.Clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				r.op(ctx, i)
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(begin)
+
+	return r.report(elapsed, len(initial), ctx.Err() != nil), nil
+}
+
+// op executes the i-th operation of the global cycle.
+func (r *runner) op(ctx context.Context, i int) {
+	kind := opMix[i%len(opMix)]
+	begin := time.Now()
+	ok := true
+	switch kind {
+	case "disclosure":
+		k := 1 + i%r.cfg.K
+		ok = r.expect(ctx, http.StatusOK, "/v1/disclosure",
+			map[string]any{"dataset": r.cfg.Dataset, "k": k})
+	case "check":
+		// Rotate criteria so the cheap counting checks and the DP-backed
+		// (c,k) check both stay hot.
+		var body map[string]any
+		switch i % 3 {
+		case 0:
+			body = map[string]any{"dataset": r.cfg.Dataset, "criterion": "ck", "c": 0.75, "k": 1}
+		case 1:
+			body = map[string]any{"dataset": r.cfg.Dataset, "criterion": "k-anonymity", "k": 2}
+		default:
+			body = map[string]any{"dataset": r.cfg.Dataset, "criterion": "distinct-l", "l": 2}
+		}
+		ok = r.expect(ctx, http.StatusOK, "/v1/check", body)
+	case "append":
+		rows := r.takeBatch()
+		if rows == nil {
+			// Stream exhausted: keep the slot busy with a disclosure so the
+			// tail of a long run still measures something.
+			kind = "disclosure"
+			ok = r.expect(ctx, http.StatusOK, "/v1/disclosure",
+				map[string]any{"dataset": r.cfg.Dataset, "k": 1})
+			break
+		}
+		ok = r.expect(ctx, http.StatusOK, "/v1/datasets/"+r.cfg.Dataset+"/rows",
+			map[string]any{"rows": rows})
+		if ok {
+			r.mu.Lock()
+			r.appends += len(rows)
+			r.mu.Unlock()
+		}
+	case "info":
+		ok = r.expectGet(ctx, "/v1/datasets/"+r.cfg.Dataset)
+	case "anonymize":
+		ok = r.anonymize(ctx)
+	case "register":
+		ok = r.registerThrowaway(ctx)
+	}
+	r.record(kind, time.Since(begin), ok)
+}
+
+// takeBatch pulls the next append batch off the shared stream.
+func (r *runner) takeBatch() [][]string {
+	r.mu.Lock()
+	batch := r.gen.Next(r.cfg.AppendBatch)
+	r.mu.Unlock()
+	if batch == nil {
+		return nil
+	}
+	rows := make([][]string, len(batch))
+	for i, row := range batch {
+		rows[i] = row
+	}
+	return rows
+}
+
+// anonymize submits a chain-search job and polls it to a terminal state;
+// the recorded latency covers submission through completion.
+func (r *runner) anonymize(ctx context.Context) bool {
+	status, body, err := r.post(ctx, "/v1/anonymize", map[string]any{
+		"dataset": r.cfg.Dataset, "criterion": "ck", "c": 0.75, "k": 1, "method": "chain",
+	})
+	if err != nil || status != http.StatusAccepted {
+		return false
+	}
+	var acc struct {
+		Poll string `json:"poll"`
+	}
+	if json.Unmarshal(body, &acc) != nil || acc.Poll == "" {
+		return false
+	}
+	for {
+		status, body, err := r.get(ctx, acc.Poll)
+		if err != nil || status != http.StatusOK {
+			return false
+		}
+		var job struct {
+			State string `json:"state"`
+		}
+		if json.Unmarshal(body, &job) != nil {
+			return false
+		}
+		switch job.State {
+		case "done":
+			return true
+		case "failed", "cancelled":
+			return false
+		}
+		select {
+		case <-time.After(10 * time.Millisecond):
+		case <-ctx.Done():
+			// Drain: leave the job to the daemon's queue and report the
+			// submission as completed work.
+			return true
+		}
+	}
+}
+
+// registerThrowaway registers a tiny uniquely-named dataset — the
+// "register" slice of the mix. A full registry is an expected soft
+// rejection under sustained load, not a workload error.
+func (r *runner) registerThrowaway(ctx context.Context) bool {
+	r.mu.Lock()
+	r.tmpSeq++
+	n := r.tmpSeq
+	r.mu.Unlock()
+	gen, err := synth.New(synth.Config{Rows: 32, Seed: r.cfg.Seed + int64(n), Regions: 4, Occupations: 4})
+	if err != nil {
+		return false
+	}
+	spec := synth.Spec(gen.Config(), gen.Next(32))
+	status, body, err := r.post(ctx, "/v1/datasets",
+		map[string]any{"name": fmt.Sprintf("%s-tmp-%d", r.cfg.Dataset, n), "spec": spec})
+	if err != nil {
+		return false
+	}
+	if status == http.StatusBadRequest && bytes.Contains(body, []byte("registry full")) {
+		return true
+	}
+	return status == http.StatusCreated
+}
+
+// record books one finished operation.
+func (r *runner) record(kind string, d time.Duration, ok bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.lat[kind] = append(r.lat[kind], d)
+	if !ok {
+		r.errs[kind]++
+	}
+}
+
+// report folds the recorded latencies into the run summary.
+func (r *runner) report(elapsed time.Duration, registered int, drained bool) *Result {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	res := &Result{
+		Dataset:        r.cfg.Dataset,
+		Rows:           r.cfg.Rows,
+		RegisteredRows: registered,
+		AppendedRows:   r.appends,
+		Clients:        r.cfg.Clients,
+		ElapsedSeconds: elapsed.Seconds(),
+		Drained:        drained,
+	}
+	kinds := make([]string, 0, len(r.lat))
+	for kind := range r.lat {
+		kinds = append(kinds, kind)
+	}
+	sort.Strings(kinds)
+	for _, kind := range kinds {
+		ds := r.lat[kind]
+		sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+		res.Ops = append(res.Ops, OpStats{
+			Name:   kind,
+			Count:  len(ds),
+			Errors: r.errs[kind],
+			P50MS:  ms(percentile(ds, 0.50)),
+			P99MS:  ms(percentile(ds, 0.99)),
+			MaxMS:  ms(ds[len(ds)-1]),
+		})
+		res.TotalOps += len(ds)
+		res.Errors += r.errs[kind]
+	}
+	if s := elapsed.Seconds(); s > 0 {
+		res.OpsPerSec = float64(res.TotalOps) / s
+		res.AppendRowsPS = float64(res.AppendedRows) / s
+	}
+	return res
+}
+
+// Render writes the result as an aligned text report.
+func (res *Result) Render(w io.Writer) error {
+	fmt.Fprintf(w, "dataset:     %s (%d registered + %d appended rows)\n",
+		res.Dataset, res.RegisteredRows, res.AppendedRows)
+	fmt.Fprintf(w, "clients:     %d\n", res.Clients)
+	fmt.Fprintf(w, "elapsed:     %.2fs   ops: %d (%d errors)   %.1f ops/s   %.0f append rows/s\n",
+		res.ElapsedSeconds, res.TotalOps, res.Errors, res.OpsPerSec, res.AppendRowsPS)
+	if res.Drained {
+		fmt.Fprintln(w, "drained:     run interrupted; partial results above")
+	}
+	fmt.Fprintf(w, "%-12s %8s %8s %10s %10s %10s\n", "op", "count", "errors", "p50(ms)", "p99(ms)", "max(ms)")
+	for _, op := range res.Ops {
+		fmt.Fprintf(w, "%-12s %8d %8d %10.2f %10.2f %10.2f\n",
+			op.Name, op.Count, op.Errors, op.P50MS, op.P99MS, op.MaxMS)
+	}
+	return nil
+}
+
+// percentile reads the p-quantile off a sorted latency slice.
+func percentile(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(float64(len(sorted)-1)*p + 0.5)
+	return sorted[idx]
+}
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+// ---- HTTP plumbing ----
+
+// post issues a JSON POST and returns the status and body. The request
+// deliberately does not carry ctx: a cancelled run drains in-flight
+// operations instead of aborting them.
+func (r *runner) post(_ context.Context, path string, v any) (int, []byte, error) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return 0, nil, err
+	}
+	resp, err := r.cfg.Client.Post(r.cfg.BaseURL+path, "application/json", bytes.NewReader(data))
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	return resp.StatusCode, body, err
+}
+
+func (r *runner) get(_ context.Context, path string) (int, []byte, error) {
+	resp, err := r.cfg.Client.Get(r.cfg.BaseURL + path)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	return resp.StatusCode, body, err
+}
+
+func (r *runner) expect(ctx context.Context, want int, path string, v any) bool {
+	status, _, err := r.post(ctx, path, v)
+	return err == nil && status == want
+}
+
+func (r *runner) expectGet(ctx context.Context, path string) bool {
+	status, _, err := r.get(ctx, path)
+	return err == nil && status == http.StatusOK
+}

@@ -1,0 +1,128 @@
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestPoolNestedSize1NoDeadlock is the regression test for the worker-pool
+// nesting hazard: a shard-level ForEach submitted from inside a node-level
+// task on the same bounded pool must complete instead of deadlocking on the
+// pool's own tokens. With a pool of size 1 there are no spare tokens at
+// all, so every level must degrade to an inline loop.
+func TestPoolNestedSize1NoDeadlock(t *testing.T) {
+	p := NewPool(1)
+	done := make(chan error, 1)
+	go func() {
+		var total atomic.Int64
+		done <- p.ForEach(4, func(node int) error {
+			// Nested submission on the same pool, as the sharded
+			// bucketize path does from inside a lattice-node task.
+			return p.ForEach(8, func(shard int) error {
+				total.Add(1)
+				return nil
+			})
+		})
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("nested ForEach: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("nested ForEach on a size-1 pool deadlocked")
+	}
+}
+
+// TestPoolNestedBoundedGoroutines checks that node×shard nesting never
+// exceeds the pool's total budget in concurrently running tasks.
+func TestPoolNestedBoundedGoroutines(t *testing.T) {
+	const budget = 3
+	p := NewPool(budget)
+	var running, peak atomic.Int64
+	err := p.ForEach(6, func(node int) error {
+		return p.ForEach(6, func(shard int) error {
+			n := running.Add(1)
+			for {
+				old := peak.Load()
+				if n <= old || peak.CompareAndSwap(old, n) {
+					break
+				}
+			}
+			time.Sleep(time.Millisecond)
+			running.Add(-1)
+			return nil
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The outer caller plus budget-1 lent workers is the hard ceiling.
+	if got := peak.Load(); got > budget {
+		t.Fatalf("peak concurrent tasks %d exceeds pool budget %d", got, budget)
+	}
+}
+
+// TestPoolForEachCompletesAllAndLowestError mirrors ForEach's contract:
+// every index runs exactly once on success, and the lowest failing index's
+// error is the one reported.
+func TestPoolForEachCompletesAllAndLowestError(t *testing.T) {
+	p := NewPool(4)
+	const n = 100
+	var hits [n]atomic.Int32
+	if err := p.ForEach(n, func(i int) error {
+		hits[i].Add(1)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i := range hits {
+		if got := hits[i].Load(); got != 1 {
+			t.Fatalf("index %d ran %d times, want 1", i, got)
+		}
+	}
+
+	wantErr := errors.New("boom")
+	err := p.ForEach(n, func(i int) error {
+		if i == 7 || i == 3 {
+			return fmt.Errorf("%w at %d", wantErr, i)
+		}
+		return nil
+	})
+	if err == nil || !errors.Is(err, wantErr) {
+		t.Fatalf("error = %v, want wrapped %v", err, wantErr)
+	}
+	if got := err.Error(); got != "boom at 3" {
+		t.Fatalf("error = %q, want the lowest failing index's (boom at 3)", got)
+	}
+}
+
+// TestPoolNilAndZeroItems pins the degenerate cases: a nil pool runs
+// inline, and zero items are a no-op.
+func TestPoolNilAndZeroItems(t *testing.T) {
+	var p *Pool
+	ran := 0
+	if err := p.ForEach(3, func(i int) error { ran++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if ran != 3 {
+		t.Fatalf("nil pool ran %d of 3 items", ran)
+	}
+	if err := NewPool(8).ForEach(0, func(i int) error { t.Fatal("ran"); return nil }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPoolSize pins Size resolution, including the per-core default.
+func TestPoolSize(t *testing.T) {
+	if got := NewPool(5).Size(); got != 5 {
+		t.Fatalf("Size = %d, want 5", got)
+	}
+	if got := NewPool(0).Size(); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Size = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+}

@@ -1,0 +1,129 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"testing"
+	"time"
+)
+
+// doEnvelope issues a request and decodes the error envelope, asserting
+// the response is JSON.
+func doEnvelope(t *testing.T, method, url string, body any) (int, errorBody) {
+	t.Helper()
+	var rdr io.Reader
+	if raw, ok := body.(json.RawMessage); ok {
+		rdr = bytes.NewReader(raw) // deliberately malformed bodies pass through
+	} else if body != nil {
+		data, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rdr = bytes.NewReader(data)
+	}
+	req, err := http.NewRequest(method, url, rdr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("%s %s: Content-Type = %q, want application/json", method, url, ct)
+	}
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var e errorBody
+	if err := json.Unmarshal(data, &e); err != nil {
+		t.Fatalf("%s %s: body %q is not an error envelope: %v", method, url, data, err)
+	}
+	return resp.StatusCode, e
+}
+
+// TestErrorEnvelopeUniform is the v1 error-API contract: every error
+// response — whatever the endpoint or status — is the one
+// {error, code, detail} envelope, with a stable machine code and a
+// non-empty human message. Detail keys, where present, are pinned per
+// code.
+func TestErrorEnvelopeUniform(t *testing.T) {
+	_, ts := newTestServer(t, Config{MaxK: 4})
+	registerHospital(t, ts.URL, "h")
+
+	cases := []struct {
+		name       string
+		method     string
+		path       string
+		body       any
+		wantStatus int
+		wantCode   string
+		wantDetail []string
+	}{
+		{"no source", http.MethodPost, "/v1/disclosure",
+			map[string]any{"k": 1}, 400, "bad_request", nil},
+		{"k over limit", http.MethodPost, "/v1/check",
+			map[string]any{"dataset": "h", "criterion": "ck", "c": 0.7, "k": 99}, 400, "bad_request", nil},
+		{"malformed json", http.MethodPost, "/v1/disclosure",
+			json.RawMessage(`{"k":`), 400, "bad_request", nil},
+		{"syntax error in phi", http.MethodPost, "/v1/estimate",
+			map[string]any{"dataset": "h", "target": "t[0]=flu", "phi": "t[0]=flu -> junk"},
+			400, "syntax_error", []string{"offset"}},
+		{"unknown dataset", http.MethodPost, "/v1/disclosure",
+			map[string]any{"dataset": "ghost", "k": 1}, 404, "not_found", nil},
+		{"dataset missing", http.MethodGet, "/v1/datasets/ghost", nil, 404, "not_found", nil},
+		{"job missing", http.MethodGet, "/v1/jobs/job-999999", nil, 404, "not_found", nil},
+		{"cancel missing job", http.MethodDelete, "/v1/jobs/job-999999", nil, 404, "not_found", nil},
+		{"append to missing dataset", http.MethodPost, "/v1/datasets/ghost/rows",
+			map[string]any{"rows": [][]string{{"x"}}}, 404, "not_found", nil},
+		{"duplicate registration", http.MethodPost, "/v1/datasets",
+			map[string]any{"name": "h", "builtin": "hospital"}, 409, "already_registered", nil},
+		{"zero acceptance", http.MethodPost, "/v1/estimate",
+			map[string]any{
+				"groups": [][]string{{"flu", "cold"}}, "target": "t[0]=flu",
+				"phi": "t[0]=flu -> t[0]=cold; t[0]=cold -> t[0]=flu", "samples": 200, "seed": 1,
+			}, 422, "zero_acceptance", []string{"accepted", "samples"}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			status, e := doEnvelope(t, c.method, ts.URL+c.path, c.body)
+			if status != c.wantStatus || e.Code != c.wantCode {
+				t.Fatalf("status %d code %q, want %d %q (error %q)", status, e.Code, c.wantStatus, c.wantCode, e.Error)
+			}
+			if e.Error == "" {
+				t.Error("envelope has no error message")
+			}
+			for _, key := range c.wantDetail {
+				if _, ok := e.Detail[key]; !ok {
+					t.Errorf("detail missing %q: %+v", key, e.Detail)
+				}
+			}
+		})
+	}
+
+	// 413: over the body limit, on a server small enough to trip it.
+	_, tiny := newTestServer(t, Config{MaxBodyBytes: 64})
+	status, e := doEnvelope(t, http.MethodPost, tiny.URL+"/v1/disclosure",
+		map[string]any{"groups": [][]string{bigGroup(40)}, "k": 1})
+	if status != http.StatusRequestEntityTooLarge || e.Code != "body_too_large" {
+		t.Errorf("oversized body: status %d code %q, want 413 body_too_large", status, e.Code)
+	}
+
+	// 503: gate saturated, still the same envelope plus Retry-After.
+	s, busy := newTestServer(t, Config{MaxConcurrent: 1, GateWait: time.Millisecond})
+	registerHospital(t, busy.URL, "h")
+	s.gate <- struct{}{}
+	defer func() { <-s.gate }()
+	status, e = doEnvelope(t, http.MethodPost, busy.URL+"/v1/disclosure",
+		map[string]any{"dataset": "h", "k": 1})
+	if status != http.StatusServiceUnavailable || e.Code != "overloaded" {
+		t.Errorf("saturated gate: status %d code %q, want 503 overloaded", status, e.Code)
+	}
+}

@@ -32,26 +32,64 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	_ = enc.Encode(v) // the status line is already out; nothing to salvage
 }
 
-// errorBody is the uniform error shape. Offset is present when the error
-// is a logic.SyntaxError, pointing clients at the offending byte of their
-// formula string. Accepted/Samples are present on 422 estimate responses
-// whose rejection sampling accepted zero worlds.
+// errorBody is the one error envelope every /v1 endpoint returns: a
+// human-readable message, a stable machine-readable code, and optional
+// structured detail. Codes are fixed strings clients may switch on;
+// detail keys are code-specific ("offset" on syntax_error, pointing at
+// the offending byte of the formula string; "accepted"/"samples" on
+// zero_acceptance, the Monte-Carlo counts behind a 422 estimate).
 type errorBody struct {
-	Error    string `json:"error"`
-	Offset   *int   `json:"offset,omitempty"`
-	Accepted *int   `json:"accepted,omitempty"`
-	Samples  *int   `json:"samples,omitempty"`
+	Error  string         `json:"error"`
+	Code   string         `json:"code"`
+	Detail map[string]any `json:"detail,omitempty"`
 }
 
-// writeError renders err with the given status code.
-func writeError(w http.ResponseWriter, code int, err error) {
-	body := errorBody{Error: err.Error()}
+// errorCode maps a response to its stable machine code. Typed errors
+// override the status-derived class: a syntax error is "syntax_error"
+// whatever handler surfaced it.
+func errorCode(status int, err error) string {
 	var se *logic.SyntaxError
-	if errors.As(err, &se) {
-		off := se.Offset
-		body.Offset = &off
+	var zero *worlds.ZeroAcceptanceError
+	switch {
+	case errors.As(err, &se):
+		return "syntax_error"
+	case errors.As(err, &zero):
+		return "zero_acceptance"
+	case errors.Is(err, errAlreadyRegistered):
+		return "already_registered"
 	}
-	writeJSON(w, code, body)
+	switch status {
+	case http.StatusBadRequest:
+		return "bad_request"
+	case http.StatusNotFound:
+		return "not_found"
+	case http.StatusConflict:
+		return "conflict"
+	case http.StatusRequestEntityTooLarge:
+		return "body_too_large"
+	case http.StatusUnprocessableEntity:
+		return "unprocessable"
+	case statusClientClosedRequest:
+		return "client_closed_request"
+	case http.StatusServiceUnavailable:
+		return "overloaded"
+	default:
+		return "internal"
+	}
+}
+
+// writeError renders err as the uniform envelope with the given status.
+func writeError(w http.ResponseWriter, status int, err error) {
+	body := errorBody{Error: err.Error(), Code: errorCode(status, err)}
+	var se *logic.SyntaxError
+	var zero *worlds.ZeroAcceptanceError
+	switch {
+	case errors.As(err, &se):
+		body.Detail = map[string]any{"offset": se.Offset}
+	case errors.As(err, &zero):
+		body.Detail = map[string]any{"accepted": zero.Accepted, "samples": zero.Samples}
+	}
+	writeJSON(w, status, body)
 }
 
 // readJSON strictly decodes the request body into v: unknown fields and
@@ -196,7 +234,7 @@ func (s *Server) handleRegisterDataset(w http.ResponseWriter, r *http.Request) {
 			fmt.Errorf("dataset has %d rows, above the %d-row limit", b.Table.Len(), s.cfg.MaxRows))
 		return
 	}
-	ds, err := s.registry.add(req.Name, b, s.cfg.SearchWorkers, s.cfg.MemoMaxBytes, s.cfg.MaxReleases)
+	ds, err := s.registry.add(req.Name, b, s.cfg.problemOptions(), s.cfg.MaxReleases)
 	if err != nil {
 		code := http.StatusBadRequest
 		if errors.Is(err, errAlreadyRegistered) {
@@ -746,11 +784,7 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 		// budget vs. fix the formula) instead of a bare 400.
 		var zero *worlds.ZeroAcceptanceError
 		if errors.As(err, &zero) {
-			writeJSON(w, http.StatusUnprocessableEntity, errorBody{
-				Error:    err.Error(),
-				Accepted: &zero.Accepted,
-				Samples:  &zero.Samples,
-			})
+			writeError(w, http.StatusUnprocessableEntity, err)
 			return
 		}
 		writeHTTPError(w, err)

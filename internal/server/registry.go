@@ -49,11 +49,12 @@ func newRegistry(max int) *registry {
 var nameRE = regexp.MustCompile(`^[a-zA-Z0-9][a-zA-Z0-9._-]{0,63}$`)
 
 // add registers a bundle under name, building its long-lived Problem with
-// the given lattice worker budget and memo bound. Duplicate names and full
-// registries are errors, rejected cheaply before the Problem (lattice
-// space, caches) is built; the check repeats at insertion in case a racing
-// registration of the same name won in between.
-func (r *registry) add(name string, b *dataload.Bundle, searchWorkers int, memoMaxBytes int64, maxReleases int) (*dataset, error) {
+// the given anonymize options (lattice worker budget, shard budget, memo
+// bound). Duplicate names and full registries are errors, rejected cheaply
+// before the Problem (lattice space, caches) is built; the check repeats
+// at insertion in case a racing registration of the same name won in
+// between.
+func (r *registry) add(name string, b *dataload.Bundle, opts anonymize.Options, maxReleases int) (*dataset, error) {
 	if !nameRE.MatchString(name) {
 		return nil, fmt.Errorf("invalid dataset name %q (want [a-zA-Z0-9._-], max 64 chars)", name)
 	}
@@ -63,8 +64,7 @@ func (r *registry) add(name string, b *dataload.Bundle, searchWorkers int, memoM
 	if err != nil {
 		return nil, err
 	}
-	p, err := anonymize.NewProblem(b.Table, b.Hierarchies, b.QI,
-		anonymize.WithWorkers(searchWorkers), anonymize.WithMemoBytes(memoMaxBytes))
+	p, err := anonymize.NewProblemWithOptions(b.Table, b.Hierarchies, b.QI, opts)
 	if err != nil {
 		return nil, err
 	}

@@ -16,6 +16,7 @@ import (
 	"runtime"
 	"time"
 
+	"ckprivacy/internal/anonymize"
 	"ckprivacy/internal/core"
 	"ckprivacy/internal/dataload"
 )
@@ -60,6 +61,13 @@ type Config struct {
 	// the zero value — mean one worker per CPU core, matching the
 	// library-wide convention.
 	SearchWorkers int
+	// ShardWorkers is the per-dataset row-shard budget: each registered
+	// dataset's bucketization scans split its encoded columns into this
+	// many contiguous row ranges and scan them concurrently (results merge
+	// byte-identically with the serial scan). Values below 1 — including
+	// the zero value — mean one shard worker per CPU core. Set 1 to force
+	// serial scans.
+	ShardWorkers int
 	// MaxReleases bounds how many published releases are retained per
 	// dataset for the sequential-release audit; the oldest is evicted past
 	// the bound (the audit then covers the retained window). Default 16.
@@ -110,11 +118,21 @@ func (c Config) withDefaults() Config {
 	if c.MaxReleases <= 0 {
 		c.MaxReleases = 16
 	}
-	// SearchWorkers is passed through: anonymize.WithWorkers and
-	// parallel.Workers already treat values below 1 as one per CPU core.
-	// MemoMaxBytes is passed through: core.NewEngineWithConfig resolves 0
-	// to its default and treats negatives as unbounded.
+	// SearchWorkers and ShardWorkers are passed through: anonymize.Options
+	// already treats values below 1 as one per CPU core. MemoMaxBytes is
+	// passed through: core.NewEngineWithConfig resolves 0 to its default
+	// and treats negatives as unbounded.
 	return c
+}
+
+// problemOptions is the anonymize.Options every registered dataset's
+// Problem is built with.
+func (c Config) problemOptions() anonymize.Options {
+	o := anonymize.DefaultOptions()
+	o.Workers = c.SearchWorkers
+	o.ShardWorkers = c.ShardWorkers
+	o.MemoMaxBytes = c.MemoMaxBytes
+	return o
 }
 
 // Server is the resident service: shared engine, dataset registry, job
@@ -166,7 +184,7 @@ func (s *Server) InlineEngine() *core.Engine { return s.inline }
 // daemon's -preload path and embedding callers use this; HTTP clients use
 // POST /v1/datasets.
 func (s *Server) Register(name string, b *dataload.Bundle) error {
-	_, err := s.registry.add(name, b, s.cfg.SearchWorkers, s.cfg.MemoMaxBytes, s.cfg.MaxReleases)
+	_, err := s.registry.add(name, b, s.cfg.problemOptions(), s.cfg.MaxReleases)
 	return err
 }
 

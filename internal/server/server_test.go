@@ -102,6 +102,13 @@ func getJSONClient(client *http.Client, url string, out any) int {
 	return resp.StatusCode
 }
 
+// detailInt extracts an integer detail field from an error envelope
+// (JSON numbers decode as float64).
+func detailInt(e errorBody, key string) (int, bool) {
+	f, ok := e.Detail[key].(float64)
+	return int(f), ok
+}
+
 // getJSON GETs url into out, returning the status code.
 func getJSON(t *testing.T, url string, out any) int {
 	t.Helper()
@@ -463,7 +470,7 @@ func TestEstimateOffsets(t *testing.T) {
 		t.Errorf("estimate = %v, want ≈ 1/2", est.Prob)
 	}
 
-	// A syntax error in phi yields a 400 whose body pinpoints the byte.
+	// A syntax error in phi yields a 400 whose envelope pinpoints the byte.
 	var e errorBody
 	bad := map[string]any{
 		"dataset": "hospital",
@@ -473,12 +480,18 @@ func TestEstimateOffsets(t *testing.T) {
 	if code := postJSON(t, ts.URL+"/v1/estimate", bad, &e); code != http.StatusBadRequest {
 		t.Fatalf("bad phi = %d", code)
 	}
-	if e.Offset == nil || *e.Offset != 15 {
-		t.Errorf("error offset = %v, want 15 (start of \"junk\"); body: %+v", e.Offset, e)
+	if e.Code != "syntax_error" {
+		t.Errorf("error code = %q, want syntax_error", e.Code)
+	}
+	if off, ok := detailInt(e, "offset"); !ok || off != 15 {
+		t.Errorf("error detail offset = %v, want 15 (start of \"junk\"); body: %+v", e.Detail["offset"], e)
 	}
 	badTarget := map[string]any{"dataset": "hospital", "target": "t[Ed]flu"}
-	if code := postJSON(t, ts.URL+"/v1/estimate", badTarget, &e); code != http.StatusBadRequest || e.Offset == nil {
-		t.Errorf("bad target: code %d, offset %v", code, e.Offset)
+	if code := postJSON(t, ts.URL+"/v1/estimate", badTarget, &e); code != http.StatusBadRequest || e.Code != "syntax_error" {
+		t.Errorf("bad target: code %d, envelope %+v", code, e)
+	}
+	if _, ok := detailInt(e, "offset"); !ok {
+		t.Errorf("bad target envelope carries no offset: %+v", e)
 	}
 
 	// Inline groups work too: persons are the 0-based global tuple ids,
@@ -588,11 +601,14 @@ func TestEstimateZeroAcceptance(t *testing.T) {
 	if code := postJSON(t, ts.URL+"/v1/estimate", req, &e); code != http.StatusUnprocessableEntity {
 		t.Fatalf("estimate with unsatisfiable phi = %d, want 422 (%+v)", code, e)
 	}
-	if e.Accepted == nil || *e.Accepted != 0 {
-		t.Errorf("422 body accepted = %v, want 0", e.Accepted)
+	if e.Code != "zero_acceptance" {
+		t.Errorf("422 code = %q, want zero_acceptance", e.Code)
 	}
-	if e.Samples == nil || *e.Samples != 500 {
-		t.Errorf("422 body samples = %v, want 500", e.Samples)
+	if acc, ok := detailInt(e, "accepted"); !ok || acc != 0 {
+		t.Errorf("422 detail accepted = %v, want 0", e.Detail["accepted"])
+	}
+	if n, ok := detailInt(e, "samples"); !ok || n != 500 {
+		t.Errorf("422 detail samples = %v, want 500", e.Detail["samples"])
 	}
 	if e.Error == "" {
 		t.Error("422 body has no error message")
