@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet fmt fmt-check test race bench bench-json bench-compare examples serve lint docs-check loadtest
+.PHONY: all build vet fmt fmt-check test race bench bench-json bench-compare examples serve lint docs-check loadtest loadtest-restart
 
 all: build vet fmt-check test
 
@@ -75,6 +75,18 @@ LOADTEST_ARGS ?= -rows 100000 -ops 400 -clients 4 -shards 0
 
 loadtest:
 	$(GO) run ./cmd/ckprivacy loadtest $(LOADTEST_ARGS)
+
+## loadtest-restart is the kill-and-restart durability smoke: the workload
+## runs against an in-process daemon persisting to a scratch -data-dir,
+## the daemon is hard-stopped without draining (the moral equivalent of
+## kill -9), and a fresh daemon must recover the dataset and serve
+## identical version/rows/releases and disclosure numbers.
+LOADTEST_RESTART_ARGS ?= -rows 20000 -ops 100 -clients 2 -shards 0
+
+loadtest-restart:
+	@dir=$$(mktemp -d); \
+	$(GO) run ./cmd/ckprivacy loadtest $(LOADTEST_RESTART_ARGS) -data-dir $$dir -restart; \
+	status=$$?; rm -rf $$dir; exit $$status
 
 bench:
 	$(GO) test -bench=. -benchmem -run='^$$' ./...

@@ -15,6 +15,7 @@ import (
 	"ckprivacy/internal/parallel"
 	"ckprivacy/internal/privacy"
 	"ckprivacy/internal/server"
+	"ckprivacy/internal/store"
 	"ckprivacy/internal/table"
 	"ckprivacy/internal/utility"
 	"ckprivacy/internal/worlds"
@@ -492,3 +493,31 @@ type (
 // it with Server.Handler and drain it with Server.Shutdown (cmd/ckprivacyd
 // does both behind SIGTERM handling).
 func NewServer(cfg ServerConfig) *Server { return server.New(cfg) }
+
+// Durability (the daemon's crash-safe persistence layer).
+type (
+	// Store owns a data directory of per-dataset columnar snapshots and
+	// append-only WALs. Set it on ServerConfig.Store to persist every
+	// registration, append and release; call Server.RecoverAll before
+	// serving to reload them (cmd/ckprivacyd wires both behind -data-dir).
+	Store = store.Manager
+	// StoreOptions configures a Store: the data directory, whether WAL
+	// commits fsync, and the WAL size past which compaction is suggested.
+	StoreOptions = store.Options
+)
+
+// Durable-store error sentinels, matched with errors.Is.
+var (
+	// ErrStoreCorrupt marks on-disk state that fails validation — a CRC
+	// mismatch on a complete record or section, a bad magic, a WAL with no
+	// snapshot to replay onto. Torn tails from a crash are NOT corrupt;
+	// they are truncated and recovery proceeds.
+	ErrStoreCorrupt = store.ErrCorrupt
+	// ErrStoreFormatVersion marks a snapshot or WAL written by a newer
+	// format version than this build understands.
+	ErrStoreFormatVersion = store.ErrFormatVersion
+)
+
+// OpenStore validates the data directory (creating it if absent) and
+// returns the durable store over it.
+func OpenStore(opts StoreOptions) (*Store, error) { return store.Open(opts) }

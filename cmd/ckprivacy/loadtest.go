@@ -1,6 +1,7 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"flag"
@@ -9,11 +10,13 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"reflect"
 	"syscall"
 	"time"
 
 	"ckprivacy/internal/loadtest"
 	"ckprivacy/internal/server"
+	"ckprivacy/internal/store"
 )
 
 // cmdLoadtest is the scale harness: it drives a ckprivacyd (an external
@@ -22,6 +25,14 @@ import (
 // per-operation p50/p99 latency plus append throughput. SIGINT/SIGTERM
 // drain cleanly: no new operations start, in-flight ones finish, and the
 // partial report is still printed.
+//
+// With -data-dir the in-process daemon persists every mutation through
+// the durable store; adding -restart turns the run into a crash-recovery
+// smoke test: after the workload the daemon is hard-stopped (no drain, no
+// final compaction — the moral equivalent of kill -9), a fresh daemon
+// recovers from the same directory, and the recovered dataset must serve
+// the same version, rows, releases and disclosure numbers as the one
+// that "died".
 func cmdLoadtest(args []string) error {
 	fs := flag.NewFlagSet("loadtest", flag.ContinueOnError)
 	var (
@@ -35,19 +46,33 @@ func cmdLoadtest(args []string) error {
 		dataset = fs.String("dataset", "loadtest", "name to register the synthetic dataset under")
 		shards  = shardsFlag(fs)
 		asJSON  = fs.Bool("json", false, "emit the report as JSON")
+		dataDir = fs.String("data-dir", "", "durable store directory for the in-process daemon (empty keeps it in-memory)")
+		restart = fs.Bool("restart", false, "after the workload, hard-stop the daemon, recover a fresh one from -data-dir and verify the dataset survived")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *restart && (*url != "" || *dataDir == "") {
+		return fmt.Errorf("loadtest: -restart needs an in-process daemon with -data-dir")
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
 	base := *url
+	var crash func() // hard-stop the in-process daemon (simulated kill)
 	if base == "" {
 		// In-process daemon on a loopback port; the embedded server honours
 		// the -shards budget so the harness exercises sharded scans.
-		srv := server.New(server.Config{ShardWorkers: *shards, MaxRows: *rows + 1000})
+		cfg := server.Config{ShardWorkers: *shards, MaxRows: *rows + 1000}
+		if *dataDir != "" {
+			mgr, err := store.Open(store.Options{Dir: *dataDir, Fsync: true, CompactBytes: 64 << 20})
+			if err != nil {
+				return fmt.Errorf("loadtest: opening data dir: %w", err)
+			}
+			cfg.Store = mgr
+		}
+		srv := server.New(cfg)
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
 			return err
@@ -60,6 +85,10 @@ func cmdLoadtest(args []string) error {
 			_ = httpSrv.Shutdown(drainCtx)
 			_ = srv.Shutdown(drainCtx)
 		}()
+		// The crash path closes the listener and walks away: no drain, no
+		// shutdown hooks, the store's files left exactly as the last fsync'd
+		// WAL write put them.
+		crash = func() { _ = ln.Close() }
 		base = "http://" + ln.Addr().String()
 		fmt.Fprintf(os.Stderr, "loadtest: in-process daemon on %s\n", base)
 	}
@@ -80,7 +109,113 @@ func cmdLoadtest(args []string) error {
 	if *asJSON {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
-		return enc.Encode(res)
+		if err := enc.Encode(res); err != nil {
+			return err
+		}
+	} else if err := res.Render(os.Stdout); err != nil {
+		return err
 	}
-	return res.Render(os.Stdout)
+	if *restart {
+		return verifyRestart(base, *dataDir, *dataset, *k, *shards, *rows, crash)
+	}
+	return nil
+}
+
+// verifyRestart is the kill-and-restart smoke check: capture the dying
+// daemon's answers, hard-stop it, recover a fresh daemon from the same
+// data directory and require identical answers.
+func verifyRestart(base, dir, dataset string, k, shards, rows int, crash func()) error {
+	infoBefore, err := getJSON(base + "/v1/datasets/" + dataset)
+	if err != nil {
+		return fmt.Errorf("restart: describing dataset pre-crash: %w", err)
+	}
+	discBefore, err := postJSON(base+"/v1/disclosure", map[string]any{"dataset": dataset, "k": k})
+	if err != nil {
+		return fmt.Errorf("restart: disclosure pre-crash: %w", err)
+	}
+	crash()
+
+	mgr, err := store.Open(store.Options{Dir: dir, Fsync: true, CompactBytes: 64 << 20})
+	if err != nil {
+		return fmt.Errorf("restart: reopening data dir: %w", err)
+	}
+	srv := server.New(server.Config{Store: mgr, ShardWorkers: shards, MaxRows: rows + 1000})
+	begin := time.Now()
+	stats, err := srv.RecoverAll()
+	if err != nil {
+		return fmt.Errorf("restart: recovery: %w", err)
+	}
+	if stats.Datasets == 0 {
+		return fmt.Errorf("restart: nothing recovered from %s", dir)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	go func() { _ = httpSrv.Serve(ln) }()
+	defer func() {
+		drainCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = httpSrv.Shutdown(drainCtx)
+		_ = srv.Shutdown(drainCtx)
+	}()
+	newBase := "http://" + ln.Addr().String()
+
+	infoAfter, err := getJSON(newBase + "/v1/datasets/" + dataset)
+	if err != nil {
+		return fmt.Errorf("restart: describing dataset post-recovery: %w", err)
+	}
+	for _, field := range []string{"version", "rows", "releases", "dictionary_cardinalities"} {
+		if !reflect.DeepEqual(infoBefore[field], infoAfter[field]) {
+			return fmt.Errorf("restart: dataset %s diverged: pre-crash %v, recovered %v",
+				field, infoBefore[field], infoAfter[field])
+		}
+	}
+	discAfter, err := postJSON(newBase+"/v1/disclosure", map[string]any{"dataset": dataset, "k": k})
+	if err != nil {
+		return fmt.Errorf("restart: disclosure post-recovery: %w", err)
+	}
+	delete(discBefore, "elapsed_ms")
+	delete(discAfter, "elapsed_ms")
+	if !reflect.DeepEqual(discBefore, discAfter) {
+		return fmt.Errorf("restart: disclosure diverged:\npre-crash: %v\nrecovered: %v", discBefore, discAfter)
+	}
+	fmt.Fprintf(os.Stdout,
+		"restart: recovered %d dataset(s), %d wal record(s) replayed in %s; version/rows/releases and disclosure identical\n",
+		stats.Datasets, stats.Replayed, time.Since(begin).Round(time.Millisecond))
+	return nil
+}
+
+func getJSON(url string) (map[string]any, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	return decodeJSONResponse(resp)
+}
+
+func postJSON(url string, body map[string]any) (map[string]any, error) {
+	payload, err := json.Marshal(body)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(payload))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	return decodeJSONResponse(resp)
+}
+
+func decodeJSONResponse(resp *http.Response) (map[string]any, error) {
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("HTTP %d", resp.StatusCode)
+	}
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, err
+	}
+	return out, nil
 }

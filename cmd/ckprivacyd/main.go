@@ -44,6 +44,7 @@ import (
 
 	"ckprivacy/internal/dataload"
 	"ckprivacy/internal/server"
+	"ckprivacy/internal/store"
 )
 
 func main() {
@@ -71,12 +72,30 @@ func run(args []string) error {
 		preload       = fs.String("preload", "", "comma-separated built-in datasets to register at boot (adult, hospital)")
 		preloadN      = fs.Int("preload-n", 0, "synthetic row count for a preloaded adult dataset (0 means the paper's 45222)")
 		drainTimeout  = fs.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight jobs")
+		dataDir       = fs.String("data-dir", "", "durable store directory: datasets persist as columnar snapshots + append WALs and are recovered at boot (empty disables persistence)")
+		walFsync      = fs.Bool("wal-fsync", true, "fsync the WAL on every committed append/release (requires -data-dir)")
+		compactWALMB  = fs.Int("compact-wal-mb", 64, "WAL size, in MiB, past which a dataset's log is compacted into a fresh snapshot")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	bootBegin := time.Now()
+
+	var mgr *store.Manager
+	if *dataDir != "" {
+		var err error
+		mgr, err = store.Open(store.Options{
+			Dir:          *dataDir,
+			Fsync:        *walFsync,
+			CompactBytes: int64(*compactWALMB) << 20,
+		})
+		if err != nil {
+			return fmt.Errorf("opening data dir %q: %w", *dataDir, err)
+		}
+	}
 
 	srv := server.New(server.Config{
+		Store:         mgr,
 		MaxK:          *maxK,
 		MaxRows:       *maxRows,
 		MaxDatasets:   *maxDatasets,
@@ -89,6 +108,17 @@ func run(args []string) error {
 		MemoMaxBytes:  int64(*memoMaxMB) << 20,
 		MaxReleases:   *maxReleases,
 	})
+	// Recover persisted datasets before preloading, so a preload name that
+	// already exists on disk comes back from its snapshot (with appended
+	// rows and release history) instead of a cold rebuild.
+	stats, err := srv.RecoverAll()
+	if err != nil {
+		return fmt.Errorf("recovering data dir %q: %w", *dataDir, err)
+	}
+	if stats.Datasets > 0 {
+		log.Printf("recovered %d dataset(s) from %s (%d wal records replayed) in %s",
+			stats.Datasets, *dataDir, stats.Replayed, stats.Elapsed.Round(time.Millisecond))
+	}
 	for _, name := range strings.Split(*preload, ",") {
 		name = strings.TrimSpace(name)
 		if name == "" {
@@ -98,11 +128,17 @@ func run(args []string) error {
 		if err != nil {
 			return fmt.Errorf("preload: %w", err)
 		}
-		if err := srv.Register(name, b); err != nil {
+		err = srv.Register(name, b)
+		if errors.Is(err, server.ErrAlreadyRegistered) && stats.Datasets > 0 {
+			log.Printf("preload %q: already recovered from %s", name, *dataDir)
+			continue
+		}
+		if err != nil {
 			return fmt.Errorf("preload %q: %w", name, err)
 		}
 		log.Printf("preloaded dataset %q (%d rows)", name, b.Table.Len())
 	}
+	srv.SetBootDuration(time.Since(bootBegin))
 
 	httpSrv := &http.Server{
 		Addr:              *addr,

@@ -187,9 +187,11 @@ func NewProblem(t *table.Table, hs hierarchy.Set, qi []string, opts ...Option) (
 	return NewProblemWithOptions(t, hs, qi, o)
 }
 
-// NewProblemWithOptions is NewProblem with the configuration spelled out
-// as a struct.
-func NewProblemWithOptions(t *table.Table, hs hierarchy.Set, qi []string, o Options) (*Problem, error) {
+// newProblemCore validates the inputs and builds a Problem with its
+// lattice space, engine and shard pool — everything except the versioned
+// state, which the two constructors (fresh encode vs. recovered encoding)
+// wire differently.
+func newProblemCore(t *table.Table, hs hierarchy.Set, qi []string, o Options) (*Problem, error) {
 	if t == nil || t.Len() == 0 {
 		return nil, fmt.Errorf("anonymize: empty table")
 	}
@@ -227,6 +229,16 @@ func NewProblemWithOptions(t *table.Table, hs hierarchy.Set, qi []string, o Opti
 	if p.opts.ShardWorkers > 1 {
 		p.shardPool = parallel.NewPool(p.opts.ShardWorkers)
 	}
+	return p, nil
+}
+
+// NewProblemWithOptions is NewProblem with the configuration spelled out
+// as a struct.
+func NewProblemWithOptions(t *table.Table, hs hierarchy.Set, qi []string, o Options) (*Problem, error) {
+	p, err := newProblemCore(t, hs, qi, o)
+	if err != nil {
+		return nil, err
+	}
 	// The version-1 row view is pinned ([:n:n]) on every path — including
 	// the legacy one — so a snapshot taken before the first Append can
 	// never observe rows the master table grows by.
@@ -250,6 +262,46 @@ func NewProblemWithOptions(t *table.Table, hs hierarchy.Set, qi []string, o Opti
 			st.sources = &coarsenIndex{}
 		}
 	}
+	p.cur.Store(st)
+	return p, nil
+}
+
+// NewProblemFromEncoded builds a problem directly over an existing master
+// encoded view, resuming at the given dataset version. It is the durable
+// store's warm-boot path: the view (rebuilt from a columnar snapshot via
+// table.NewEncodedFromParts, then extended by WAL replay) becomes the
+// problem's master without re-encoding the rows, and version restores the
+// PR-5 counter so versioned clients see no reset across a restart. Unlike
+// NewProblemWithOptions, hierarchy compilation failure is an error here —
+// a dataset persisted from the encoded path must recover onto it.
+func NewProblemFromEncoded(enc *table.Encoded, hs hierarchy.Set, qi []string, version int64, o Options) (*Problem, error) {
+	t := enc.Table
+	if t == nil || t.Len() == 0 {
+		return nil, fmt.Errorf("anonymize: empty table")
+	}
+	if version < 1 {
+		return nil, fmt.Errorf("anonymize: version %d < 1", version)
+	}
+	if o.LegacyBucketize {
+		return nil, fmt.Errorf("anonymize: cannot recover an encoded problem onto the legacy path")
+	}
+	p, err := newProblemCore(t, hs, qi, o)
+	if err != nil {
+		return nil, err
+	}
+	chs, err := bucket.CompileHierarchies(enc, hs)
+	if err != nil {
+		return nil, fmt.Errorf("anonymize: recovered encoding does not compile: %w", err)
+	}
+	p.master = enc
+	st := &state{
+		version:  version,
+		enc:      enc.Snapshot(),
+		compiled: chs,
+		cache:    newBucketizeCache(),
+		sources:  &coarsenIndex{},
+	}
+	st.tab = st.enc.Table
 	p.cur.Store(st)
 	return p, nil
 }
@@ -368,6 +420,11 @@ func (s *Snapshot) Table() *table.Table { return s.st.tab }
 
 // Problem returns the problem the snapshot was taken from.
 func (s *Snapshot) Problem() *Problem { return s.p }
+
+// Encoded returns the pinned columnar view of this version, or nil when
+// the problem runs the legacy string path. The view is immutable; the
+// durable store serializes its dictionaries and code columns directly.
+func (s *Snapshot) Encoded() *table.Encoded { return s.st.enc }
 
 // Bucketize materializes the bucketization at a lattice node. Attributes
 // outside the problem's QI list are fully ignored for grouping only if they

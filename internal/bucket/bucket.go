@@ -137,6 +137,32 @@ func FromValues(groups ...[]string) *Bucketization {
 	return bz
 }
 
+// FromTupleGroups rebuilds a bucketization from its materialized form:
+// per-bucket keys and tuple (row) ids over src. It is the durable store's
+// recovery constructor — a persisted release stores exactly its partition,
+// and this turns it back into a live Bucketization (sensitive histograms
+// recounted from src) without re-running the original generalization scan.
+// Buckets are taken in the given order; keys need not be sorted (they were
+// sorted when first built, and recovery preserves that order verbatim).
+func FromTupleGroups(src *table.Table, keys []string, groups [][]int) (*Bucketization, error) {
+	if len(keys) != len(groups) {
+		return nil, fmt.Errorf("bucket: %d keys but %d groups", len(keys), len(groups))
+	}
+	bz := &Bucketization{Source: src}
+	for i, key := range keys {
+		tuples := groups[i]
+		counts := make(map[string]int, 4)
+		for _, id := range tuples {
+			if id < 0 || id >= src.Len() {
+				return nil, fmt.Errorf("bucket: group %d tuple id %d outside table of %d rows", i, id, src.Len())
+			}
+			counts[src.SensitiveValue(id)]++
+		}
+		bz.Buckets = append(bz.Buckets, newBucket(key, tuples, counts))
+	}
+	return bz, nil
+}
+
 // Levels assigns a generalization level to each quasi-identifier by name.
 type Levels map[string]int
 

@@ -48,6 +48,11 @@ type Bundle struct {
 	// PersonName maps a row id to a display name; nil falls back to the
 	// row index.
 	PersonName func(int) string
+	// Source describes how to rebuild the bundle's non-row state (schema,
+	// hierarchies, QI order) without the original CSV — what the durable
+	// store persists next to the columnar rows. Bundles constructed by
+	// hand may leave it nil; they then register unpersisted.
+	Source *SourceSpec
 
 	// The columnar substrate is derived lazily, once per bundle, and
 	// shared by every subsequent Bucketize call. Bundles are passed by
@@ -63,6 +68,9 @@ type Bundle struct {
 // the string path, which reports the offending row lazily.
 func (b *Bundle) Encoded() (enc *table.Encoded, chs hierarchy.CompiledSet, ok bool) {
 	b.encOnce.Do(func() {
+		if b.enc != nil {
+			return // pre-seeded (the cached Adult bundle shares its view)
+		}
 		enc := b.Table.Encode()
 		chs, err := bucket.CompileHierarchies(enc, b.Hierarchies)
 		if err != nil {
@@ -112,9 +120,19 @@ func (b *Bundle) BucketizeSharded(levels bucket.Levels, shards int) (*bucket.Buc
 
 // Adult loads an Adult-schema bundle: from the CSV file at path when path
 // is non-empty, otherwise the deterministic synthetic table (n tuples,
-// given seed).
+// given seed). The canonical synthetic configuration — the paper's 45,222
+// tuples at the default seed 1 — is generated and encoded once per
+// process and shared: repeated CLI subcommands, tests and daemon preloads
+// get a fresh Bundle over the same immutable rows and columnar view
+// instead of regenerating and re-interning 45k rows per call.
 func Adult(path string, n int, seed int64) (*Bundle, error) {
 	if path == "" {
+		if n <= 0 {
+			n = adult.DefaultN
+		}
+		if n == adult.DefaultN && seed == 1 {
+			return cachedDefaultAdult()
+		}
 		tab, err := adult.Generate(adult.Config{N: n, Seed: seed})
 		if err != nil {
 			return nil, err
@@ -151,7 +169,55 @@ func adultBundle(tab *table.Table) *Bundle {
 		QI:          adult.QuasiIdentifiers(),
 		// The paper's Figure 2-style working generalization.
 		DefaultLevels: bucket.Levels{"Age": 3, "MaritalStatus": 2, "Race": 1, "Sex": 1},
+		Source:        &SourceSpec{Kind: SourceKindAdult},
 	}
+}
+
+// adultSchema returns the Adult template schema (the decode target for
+// persisted Adult-source snapshots).
+func adultSchema() *table.Schema { return adult.Schema() }
+
+// The default Adult bundle cache: the 45,222-tuple seed-1 synthetic table
+// plus its encoded view and compiled hierarchies, built once per process.
+var (
+	adultDefaultOnce sync.Once
+	adultDefaultErr  error
+	adultDefaultTab  *table.Table          // pinned rows (len == cap)
+	adultDefaultEnc  *table.Encoded        // immutable snapshot of the encoding
+	adultDefaultCHS  hierarchy.CompiledSet // compiled over adultDefaultEnc
+)
+
+// cachedDefaultAdult hands out a fresh Bundle over the cached default
+// Adult data. Each call gets its own Table struct (append paths reassign
+// the Rows header, so a shared struct would race) over the same pinned
+// backing rows — len == cap, so any append reallocates away from the
+// cache — with the encoded view pre-seeded from the shared immutable
+// snapshot.
+func cachedDefaultAdult() (*Bundle, error) {
+	adultDefaultOnce.Do(func() {
+		tab, err := adult.Generate(adult.Config{N: adult.DefaultN, Seed: 1})
+		if err != nil {
+			adultDefaultErr = err
+			return
+		}
+		master := tab.Encode()
+		chs, err := bucket.CompileHierarchies(master, adult.Hierarchies())
+		if err != nil {
+			adultDefaultErr = err
+			return
+		}
+		snap := master.Snapshot()
+		adultDefaultTab = snap.Table
+		adultDefaultEnc = snap
+		adultDefaultCHS = chs
+	})
+	if adultDefaultErr != nil {
+		return nil, adultDefaultErr
+	}
+	b := adultBundle(&table.Table{Schema: adultDefaultTab.Schema, Rows: adultDefaultTab.Rows})
+	b.enc = adultDefaultEnc
+	b.compiled = adultDefaultCHS
+	return b, nil
 }
 
 // Hospital returns the paper's ten-patient running example as a bundle;
@@ -160,9 +226,16 @@ func adultBundle(tab *table.Table) *Bundle {
 // name (the example only names the original cast).
 func Hospital() *Bundle {
 	h := experiments.HospitalExample()
+	return hospitalBundle(h, h.Table)
+}
+
+// hospitalBundle assembles the hospital bundle over an explicit table —
+// the example's own rows normally, or rows decoded from a durable
+// snapshot on recovery.
+func hospitalBundle(h *experiments.Hospital, tab *table.Table) *Bundle {
 	return &Bundle{
 		Name:        "hospital",
-		Table:       h.Table,
+		Table:       tab,
 		Hierarchies: h.Hierarchies,
 		QI:          []string{"Zip", "Age", "Sex"},
 		DefaultLevels: bucket.Levels{
@@ -174,6 +247,7 @@ func Hospital() *Bundle {
 			}
 			return strconv.Itoa(id)
 		},
+		Source: &SourceSpec{Kind: SourceKindHospital},
 	}
 }
 

@@ -1,0 +1,99 @@
+package dataload
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"ckprivacy/internal/experiments"
+	"ckprivacy/internal/table"
+)
+
+// Source kinds: every bundle this package builds carries one, naming the
+// template its schema, hierarchies and QI order come from.
+const (
+	// SourceKindAdult marks the built-in Adult-schema template.
+	SourceKindAdult = "adult"
+	// SourceKindHospital marks the paper's hospital running example.
+	SourceKindHospital = "hospital"
+	// SourceKindSpec marks a declarative client-registered dataset; the
+	// spec (minus its CSV rows) rides along.
+	SourceKindSpec = "spec"
+)
+
+// SourceSpec describes how to rebuild a bundle's non-row state — schema,
+// hierarchies, quasi-identifier order, default levels, person naming —
+// without the original CSV. The durable store persists it (as JSON)
+// alongside the columnar rows, and recovery turns the pair back into a
+// live bundle: template from the source, rows from the snapshot.
+type SourceSpec struct {
+	// Kind selects the template: SourceKindAdult, SourceKindHospital or
+	// SourceKindSpec.
+	Kind string `json:"kind"`
+	// Spec is the declarative description for SourceKindSpec (CSV field
+	// empty); nil for the built-in kinds.
+	Spec *Spec `json:"spec,omitempty"`
+}
+
+// MarshalSource renders a bundle source as the JSON the durable store
+// persists.
+func MarshalSource(src *SourceSpec) ([]byte, error) {
+	if src == nil {
+		return nil, fmt.Errorf("dataload: bundle has no rebuild source")
+	}
+	return json.Marshal(src)
+}
+
+// ParseSource parses a persisted rebuild source.
+func ParseSource(data []byte) (*SourceSpec, error) {
+	var src SourceSpec
+	if err := json.Unmarshal(data, &src); err != nil {
+		return nil, fmt.Errorf("dataload: parsing rebuild source: %w", err)
+	}
+	if src.Kind == "" {
+		return nil, fmt.Errorf("dataload: rebuild source has no kind")
+	}
+	return &src, nil
+}
+
+// SourceSchema materializes just the schema a source's tables use — what a
+// columnar snapshot's dictionaries and code columns decode against.
+func SourceSchema(src *SourceSpec) (*table.Schema, error) {
+	switch src.Kind {
+	case SourceKindAdult:
+		return adultSchema(), nil
+	case SourceKindHospital:
+		return experiments.HospitalExample().Table.Schema, nil
+	case SourceKindSpec:
+		if src.Spec == nil {
+			return nil, fmt.Errorf("dataload: spec source without a spec")
+		}
+		return specSchema(*src.Spec)
+	default:
+		return nil, fmt.Errorf("dataload: unknown source kind %q", src.Kind)
+	}
+}
+
+// FromSource rebuilds a bundle named name from its rebuild source and an
+// already-materialized table (decoded from a durable snapshot). The
+// result carries the same hierarchies, QI order, default levels and
+// person naming as the bundle originally built by Adult, Hospital or
+// FromSpec — only the rows come from tab.
+func FromSource(name string, src *SourceSpec, tab *table.Table) (*Bundle, error) {
+	switch src.Kind {
+	case SourceKindAdult:
+		b := adultBundle(tab)
+		b.Name = name
+		return b, nil
+	case SourceKindHospital:
+		b := hospitalBundle(experiments.HospitalExample(), tab)
+		b.Name = name
+		return b, nil
+	case SourceKindSpec:
+		if src.Spec == nil {
+			return nil, fmt.Errorf("dataload: spec source without a spec")
+		}
+		return specBundle(name, *src.Spec, tab)
+	default:
+		return nil, fmt.Errorf("dataload: unknown source kind %q", src.Kind)
+	}
+}

@@ -61,6 +61,24 @@ type HierarchySpec struct {
 // FromSpec validates a declarative dataset description and materializes it
 // as a bundle named name.
 func FromSpec(name string, spec Spec) (*Bundle, error) {
+	schema, err := specSchema(spec)
+	if err != nil {
+		return nil, err
+	}
+	tab, err := table.ReadCSV(strings.NewReader(spec.CSV), schema)
+	if err != nil {
+		return nil, fmt.Errorf("dataload: %w", err)
+	}
+	if tab.Len() == 0 {
+		return nil, fmt.Errorf("dataload: dataset %q: %w", name, ErrNoDataRows)
+	}
+	return specBundle(name, spec, tab)
+}
+
+// specSchema materializes just the schema of a declarative description —
+// the part needed to decode a durable columnar snapshot before any rows
+// exist.
+func specSchema(spec Spec) (*table.Schema, error) {
 	attrs := make([]table.Attribute, len(spec.Attributes))
 	for i, a := range spec.Attributes {
 		attr := table.Attribute{Name: a.Name, Domain: a.Domain, Min: a.Min, Max: a.Max}
@@ -78,14 +96,17 @@ func FromSpec(name string, spec Spec) (*Bundle, error) {
 	if err != nil {
 		return nil, fmt.Errorf("dataload: %w", err)
 	}
-	tab, err := table.ReadCSV(strings.NewReader(spec.CSV), schema)
-	if err != nil {
-		return nil, fmt.Errorf("dataload: %w", err)
-	}
-	if tab.Len() == 0 {
-		return nil, fmt.Errorf("dataload: dataset %q: %w", name, ErrNoDataRows)
-	}
+	return schema, nil
+}
 
+// specBundle assembles a bundle from a declarative description and an
+// already-materialized table over its schema. FromSpec parses the spec's
+// CSV into that table; the durable-store recovery path decodes it from a
+// columnar snapshot instead — hierarchies, QI order and default levels
+// come out identical either way.
+func specBundle(name string, spec Spec, tab *table.Table) (*Bundle, error) {
+	schema := tab.Schema
+	var err error
 	hs := hierarchy.Set{}
 	for _, h := range spec.Hierarchies {
 		col := schema.Index(h.Attribute)
@@ -155,11 +176,17 @@ func FromSpec(name string, spec Spec) (*Bundle, error) {
 		}
 	}
 
+	// The stored rebuild source is the spec minus its CSV: the rows live
+	// in the columnar snapshot, so persisting them again as CSV text would
+	// double the footprint and drift from the appended state.
+	src := spec
+	src.CSV = ""
 	return &Bundle{
 		Name:          name,
 		Table:         tab,
 		Hierarchies:   hs,
 		QI:            append([]string(nil), qi...),
 		DefaultLevels: levels,
+		Source:        &SourceSpec{Kind: SourceKindSpec, Spec: &src},
 	}, nil
 }

@@ -50,13 +50,19 @@ type errorBody struct {
 func errorCode(status int, err error) string {
 	var se *logic.SyntaxError
 	var zero *worlds.ZeroAcceptanceError
+	var pe *persistError
 	switch {
 	case errors.As(err, &se):
 		return "syntax_error"
 	case errors.As(err, &zero):
 		return "zero_acceptance"
-	case errors.Is(err, errAlreadyRegistered):
+	case errors.Is(err, ErrAlreadyRegistered):
 		return "already_registered"
+	case errors.As(err, &pe):
+		// Durable-store write failures: "disk_full" when the volume is out
+		// of space, "persist_failed" for anything else. Checked before the
+		// status switch so the 503 does not read as "overloaded".
+		return persistCodeOf(err)
 	}
 	switch status {
 	case http.StatusBadRequest:
@@ -158,6 +164,18 @@ type datasetInfo struct {
 	// of distinct ground values each column was encoded over. Present only
 	// when Encoded.
 	DictCardinalities map[string]int `json:"dictionary_cardinalities,omitempty"`
+	// Persisted reports whether the dataset is backed by the durable store
+	// (snapshot + WAL); false when the daemon runs without -data-dir or the
+	// dataset has no rebuild source.
+	Persisted bool `json:"persisted"`
+	// WALRecords is the number of append/release records in the dataset's
+	// live WAL segment (records since its last snapshot); 0 when not
+	// persisted.
+	WALRecords int `json:"wal_records"`
+	// Recovered says how the dataset entered this process: "cold"
+	// (registered fresh), "snapshot" (loaded from a snapshot with no WAL
+	// tail) or "wal_replay" (snapshot plus replayed WAL records).
+	Recovered string `json:"recovered"`
 }
 
 func describe(name string, ds *dataset) datasetInfo {
@@ -169,7 +187,7 @@ func describe(name string, ds *dataset) datasetInfo {
 	encoding := ds.problem.Encoding()
 	snap := ds.problem.Snapshot()
 	rs, _ := ds.releases.snapshot()
-	return datasetInfo{
+	info := datasetInfo{
 		Name:              name,
 		Version:           snap.Version(),
 		Rows:              snap.Rows(),
@@ -182,7 +200,13 @@ func describe(name string, ds *dataset) datasetInfo {
 		Releases:          len(rs),
 		Encoded:           encoding.Enabled,
 		DictCardinalities: encoding.Cardinalities,
+		Recovered:         ds.recovered,
 	}
+	if ds.persist != nil {
+		info.Persisted = true
+		info.WALRecords = ds.persist.log.Records()
+	}
+	return info
 }
 
 func (s *Server) handleRegisterDataset(w http.ResponseWriter, r *http.Request) {
@@ -237,10 +261,18 @@ func (s *Server) handleRegisterDataset(w http.ResponseWriter, r *http.Request) {
 	ds, err := s.registry.add(req.Name, b, s.cfg.problemOptions(), s.cfg.MaxReleases)
 	if err != nil {
 		code := http.StatusBadRequest
-		if errors.Is(err, errAlreadyRegistered) {
+		if errors.Is(err, ErrAlreadyRegistered) {
 			code = http.StatusConflict
 		}
 		writeError(w, code, err)
+		return
+	}
+	if err := s.persistNewDataset(req.Name, ds); err != nil {
+		// A dataset that cannot write its initial snapshot is backed out
+		// entirely: registration is all-or-nothing so a restart can never
+		// silently drop a dataset the client was told exists.
+		s.registry.remove(req.Name)
+		writePersistFailure(w, err)
 		return
 	}
 	writeJSON(w, http.StatusCreated, describe(req.Name, ds))
@@ -320,9 +352,15 @@ func (s *Server) handleAppendRows(w http.ResponseWriter, r *http.Request) {
 	}
 	defer release()
 	begin := time.Now()
-	// The limit check and the append are one critical section so racing
-	// appends cannot jointly overshoot MaxRows.
+	// The limit check, the append and its WAL record are one critical
+	// section: racing appends cannot jointly overshoot MaxRows, and the WAL
+	// receives append records in the exact order the versions were minted.
 	ds.appendMu.Lock()
+	if err := s.healIfBrokenLocked(ds); err != nil {
+		ds.appendMu.Unlock()
+		writePersistFailure(w, err)
+		return
+	}
 	if total := ds.problem.Rows() + len(rows); total > s.cfg.MaxRows {
 		ds.appendMu.Unlock()
 		writeError(w, http.StatusBadRequest,
@@ -330,9 +368,21 @@ func (s *Server) handleAppendRows(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	res, err := ds.problem.Append(rows)
+	var persistErr error
+	if err == nil {
+		persistErr = s.logAppendLocked(ds, res.Version, req.Rows)
+	}
 	ds.appendMu.Unlock()
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if persistErr != nil {
+		// The rows are live in memory but their WAL record is not on disk;
+		// the dataset is marked broken and the next write heals by
+		// compacting the current state. The client must treat this append
+		// as not durable and retry.
+		writePersistFailure(w, persistErr)
 		return
 	}
 	writeJSON(w, http.StatusOK, appendRowsResponse{

@@ -182,6 +182,60 @@ func (m *metrics) writeTo(w io.Writer, s *Server) {
 		fmt.Fprintf(w, "ckprivacyd_dataset_releases{dataset=%q} %d\n", info.name, len(rs))
 	}
 
+	fmt.Fprintln(w, "# HELP ckprivacyd_dataset_recovered How each dataset entered this process (cold, snapshot or wal_replay); always 1.")
+	fmt.Fprintln(w, "# TYPE ckprivacyd_dataset_recovered gauge")
+	for _, info := range infos {
+		fmt.Fprintf(w, "ckprivacyd_dataset_recovered{dataset=%q,mode=%q} 1\n", info.name, info.ds.recovered)
+	}
+
+	// Durability gauges for persisted datasets: live WAL size, compaction
+	// recency, boot replay cost and fsync latency.
+	persisted := make([]namedDataset, 0, len(infos))
+	for _, info := range infos {
+		if info.ds.persist != nil {
+			persisted = append(persisted, info)
+		}
+	}
+	if len(persisted) > 0 {
+		fmt.Fprintln(w, "# HELP ckprivacyd_wal_bytes Bytes in the dataset's live WAL segment (header included).")
+		fmt.Fprintln(w, "# TYPE ckprivacyd_wal_bytes gauge")
+		for _, info := range persisted {
+			fmt.Fprintf(w, "ckprivacyd_wal_bytes{dataset=%q} %d\n", info.name, info.ds.persist.log.Bytes())
+		}
+		fmt.Fprintln(w, "# HELP ckprivacyd_wal_records Append/release records in the dataset's live WAL segment.")
+		fmt.Fprintln(w, "# TYPE ckprivacyd_wal_records gauge")
+		for _, info := range persisted {
+			fmt.Fprintf(w, "ckprivacyd_wal_records{dataset=%q} %d\n", info.name, info.ds.persist.log.Records())
+		}
+		fmt.Fprintln(w, "# HELP ckprivacyd_last_compaction_timestamp_seconds Unix time of the dataset's last WAL compaction; 0 if never compacted in this process.")
+		fmt.Fprintln(w, "# TYPE ckprivacyd_last_compaction_timestamp_seconds gauge")
+		for _, info := range persisted {
+			var ts float64
+			if lc := info.ds.persist.log.LastCompaction(); !lc.IsZero() {
+				ts = float64(lc.UnixNano()) / 1e9
+			}
+			fmt.Fprintf(w, "ckprivacyd_last_compaction_timestamp_seconds{dataset=%q} %g\n", info.name, ts)
+		}
+		fmt.Fprintln(w, "# HELP ckprivacyd_replay_seconds Boot recovery time per dataset (snapshot decode + WAL replay); 0 for datasets registered in this process.")
+		fmt.Fprintln(w, "# TYPE ckprivacyd_replay_seconds gauge")
+		for _, info := range persisted {
+			fmt.Fprintf(w, "ckprivacyd_replay_seconds{dataset=%q} %g\n", info.name, info.ds.persist.replaySeconds)
+		}
+		fmt.Fprintln(w, "# HELP ckprivacyd_wal_fsync_seconds Summed WAL fsync latency per dataset (count is fsyncs performed; both 0 when -wal-fsync is off).")
+		fmt.Fprintln(w, "# TYPE ckprivacyd_wal_fsync_seconds summary")
+		for _, info := range persisted {
+			n, total := info.ds.persist.log.FsyncStats()
+			fmt.Fprintf(w, "ckprivacyd_wal_fsync_seconds_sum{dataset=%q} %g\n", info.name, total.Seconds())
+			fmt.Fprintf(w, "ckprivacyd_wal_fsync_seconds_count{dataset=%q} %d\n", info.name, n)
+		}
+	}
+
+	if boot, ok := s.bootSeconds.Load().(float64); ok {
+		fmt.Fprintln(w, "# HELP ckprivacyd_boot_seconds Daemon startup duration (store recovery and preloads included).")
+		fmt.Fprintln(w, "# TYPE ckprivacyd_boot_seconds gauge")
+		fmt.Fprintf(w, "ckprivacyd_boot_seconds %g\n", boot)
+	}
+
 	fmt.Fprintln(w, "# HELP ckprivacyd_datasets_registered Registered datasets.")
 	fmt.Fprintln(w, "# TYPE ckprivacyd_datasets_registered gauge")
 	fmt.Fprintf(w, "ckprivacyd_datasets_registered %d\n", len(infos))

@@ -11,8 +11,8 @@ import (
 	"ckprivacy/internal/dataload"
 )
 
-// errAlreadyRegistered marks duplicate-name registrations (HTTP 409).
-var errAlreadyRegistered = errors.New("already registered")
+// ErrAlreadyRegistered marks duplicate-name registrations (HTTP 409).
+var ErrAlreadyRegistered = errors.New("already registered")
 
 // dataset is one registered table with its warm state: the bundle (table,
 // hierarchies, QI) and a long-lived anonymize.Problem whose sharded
@@ -29,9 +29,20 @@ type dataset struct {
 	bundle  *dataload.Bundle
 	problem *anonymize.Problem
 	// appendMu serializes the row-limit check with the append itself, so
-	// racing appends cannot jointly overshoot MaxRows.
+	// racing appends cannot jointly overshoot MaxRows. When the dataset is
+	// persisted it also serializes every WAL write with the mutation it
+	// records, which is what guarantees an append record precedes any
+	// release record referencing its rows.
 	appendMu sync.Mutex
 	releases releaseLog
+	// persist is the dataset's durable log; nil when the server runs
+	// without a store, the bundle has no rebuild source, or the problem
+	// fell back to the legacy string path.
+	persist *datasetStore
+	// recovered says how this dataset came to exist in this process:
+	// "cold" (registered fresh), "snapshot" (loaded with no WAL tail) or
+	// "wal_replay" (snapshot plus replayed appends/releases).
+	recovered string
 }
 
 // registry maps dataset names to their warm state.
@@ -68,21 +79,42 @@ func (r *registry) add(name string, b *dataload.Bundle, opts anonymize.Options, 
 	if err != nil {
 		return nil, err
 	}
-	ds := &dataset{bundle: b, problem: p, releases: releaseLog{max: maxReleases}}
+	ds := &dataset{bundle: b, problem: p, releases: releaseLog{max: maxReleases}, recovered: "cold"}
+	if err := r.insert(name, ds); err != nil {
+		return nil, err
+	}
+	return ds, nil
+}
+
+// insert places an already-built dataset in the registry (the recovery
+// path builds its problem from a durable snapshot rather than through
+// add). Name, duplicate and capacity rules are the same as add's.
+func (r *registry) insert(name string, ds *dataset) error {
+	if !nameRE.MatchString(name) {
+		return fmt.Errorf("invalid dataset name %q (want [a-zA-Z0-9._-], max 64 chars)", name)
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if err := r.capacityLocked(name); err != nil {
-		return nil, err
+		return err
 	}
 	r.byName[name] = ds
-	return ds, nil
+	return nil
+}
+
+// remove deletes a dataset from the registry (used to back out a
+// registration whose durable snapshot failed to write).
+func (r *registry) remove(name string) {
+	r.mu.Lock()
+	delete(r.byName, name)
+	r.mu.Unlock()
 }
 
 // capacityLocked reports whether a registration of name could currently
 // succeed; the caller holds r.mu.
 func (r *registry) capacityLocked(name string) error {
 	if _, exists := r.byName[name]; exists {
-		return fmt.Errorf("dataset %q %w", name, errAlreadyRegistered)
+		return fmt.Errorf("dataset %q %w", name, ErrAlreadyRegistered)
 	}
 	if len(r.byName) >= r.max {
 		return fmt.Errorf("registry full (%d datasets)", r.max)

@@ -66,6 +66,23 @@ func (l *releaseLog) snapshot() (rs []*release, evicted int) {
 	return append([]*release(nil), l.rs...), l.evicted
 }
 
+// exportState returns the full log state for durable snapshots.
+func (l *releaseLog) exportState() (rs []*release, evicted, next int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]*release(nil), l.rs...), l.evicted, l.next
+}
+
+// restore replaces the log's state with a recovered history (boot path;
+// the dataset is not yet visible to requests).
+func (l *releaseLog) restore(next, evicted int, rs []*release) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.next = next
+	l.evicted = evicted
+	l.rs = rs
+}
+
 // intersect builds the partition an attacker holding both releases can
 // derive over the persons present in both: one cell per (bucket in a,
 // bucket in b) pair, with the cell's sensitive multiset read off the
@@ -185,7 +202,25 @@ func (s *Server) handleCreateRelease(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	// The record + WAL write run under appendMu: acquiring it guarantees
+	// any append whose rows this release references has finished its own
+	// WAL write (appends hold the mutex across apply + log), so the log
+	// order matches the data dependency.
+	ds.appendMu.Lock()
+	if err := s.healIfBrokenLocked(ds); err != nil {
+		ds.appendMu.Unlock()
+		writePersistFailure(w, err)
+		return
+	}
 	index, retained, evicted := ds.releases.add(rel)
+	err := s.logReleaseLocked(ds, rel)
+	ds.appendMu.Unlock()
+	if err != nil {
+		// The release is recorded in memory but not on disk; the dataset is
+		// marked broken and the next write heals by compaction.
+		writePersistFailure(w, err)
+		return
+	}
 	writeJSON(w, http.StatusCreated, releaseCreated{
 		Dataset: name,
 		Release: releaseInfo{

@@ -14,11 +14,13 @@ import (
 	"fmt"
 	"net/http"
 	"runtime"
+	"sync/atomic"
 	"time"
 
 	"ckprivacy/internal/anonymize"
 	"ckprivacy/internal/core"
 	"ckprivacy/internal/dataload"
+	"ckprivacy/internal/store"
 )
 
 // Config tunes the service. The zero value is usable: every limit falls
@@ -72,6 +74,11 @@ type Config struct {
 	// dataset for the sequential-release audit; the oldest is evicted past
 	// the bound (the audit then covers the retained window). Default 16.
 	MaxReleases int
+	// Store, when non-nil, makes registered datasets durable: each
+	// registration writes a columnar snapshot, every append and release
+	// appends a WAL record, and RecoverAll rebuilds the registry from disk
+	// at boot. Nil (the default) keeps the daemon fully in-memory.
+	Store *store.Manager
 	// MemoMaxBytes bounds every disclosure-engine memo the daemon runs:
 	// the shared engine for synchronous checks on registered datasets, the
 	// engine serving inline client-chosen bucketizations, and each
@@ -148,6 +155,10 @@ type Server struct {
 	start    time.Time
 	mux      *http.ServeMux
 	patterns []string
+	// store is the optional durable backend (cfg.Store); bootSeconds is the
+	// daemon-reported startup duration (0 until SetBootDuration).
+	store       *store.Manager
+	bootSeconds atomic.Value // float64
 }
 
 // New builds a Server and starts its job workers.
@@ -166,6 +177,7 @@ func New(cfg Config) *Server {
 		gate:     make(chan struct{}, cfg.MaxConcurrent),
 		start:    time.Now(),
 		mux:      http.NewServeMux(),
+		store:    cfg.Store,
 	}
 	s.jobs = newJobManager(cfg.JobWorkers, cfg.JobQueueSize, cfg.JobHistory, s.metrics)
 	s.routes()
@@ -182,10 +194,25 @@ func (s *Server) InlineEngine() *core.Engine { return s.inline }
 
 // Register adds a bundle to the dataset registry programmatically — the
 // daemon's -preload path and embedding callers use this; HTTP clients use
-// POST /v1/datasets.
+// POST /v1/datasets. With a durable store configured the registration is
+// persisted like an HTTP one: snapshot written, WAL opened, and the
+// registration backed out if the write fails.
 func (s *Server) Register(name string, b *dataload.Bundle) error {
-	_, err := s.registry.add(name, b, s.cfg.problemOptions(), s.cfg.MaxReleases)
-	return err
+	ds, err := s.registry.add(name, b, s.cfg.problemOptions(), s.cfg.MaxReleases)
+	if err != nil {
+		return err
+	}
+	if err := s.persistNewDataset(name, ds); err != nil {
+		s.registry.remove(name)
+		return fmt.Errorf("persisting dataset %q: %w", name, err)
+	}
+	return nil
+}
+
+// SetBootDuration records how long the daemon's startup (store recovery
+// included) took; exported as the ckprivacyd_boot_seconds gauge.
+func (s *Server) SetBootDuration(d time.Duration) {
+	s.bootSeconds.Store(d.Seconds())
 }
 
 // Patterns returns every method-qualified route pattern the server

@@ -1,0 +1,361 @@
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Options configures a Manager.
+type Options struct {
+	// Dir is the data directory root; one subdirectory per dataset.
+	Dir string
+	// Fsync makes every WAL commit fsync before returning. Off, a crash
+	// can lose the OS-buffered tail (but never corrupt what is on disk).
+	Fsync bool
+	// CompactBytes is the WAL size past which the owner should compact
+	// (snapshot rewrite + fresh WAL). Zero or negative disables the
+	// suggestion; compaction itself is always available.
+	CompactBytes int64
+}
+
+// Manager owns a data directory and hands out one DatasetLog per dataset.
+// The store never mutates datasets on its own: the owner decides what to
+// snapshot, when to log, and when to compact.
+type Manager struct {
+	opts Options
+}
+
+// Open validates the data directory (creating it if absent) and returns a
+// Manager over it.
+func Open(opts Options) (*Manager, error) {
+	if opts.Dir == "" {
+		return nil, fmt.Errorf("store: empty data directory")
+	}
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, err
+	}
+	return &Manager{opts: opts}, nil
+}
+
+// Dir reports the manager's data directory root.
+func (m *Manager) Dir() string { return m.opts.Dir }
+
+// CompactBytes reports the configured compaction threshold (<= 0 means
+// disabled).
+func (m *Manager) CompactBytes() int64 { return m.opts.CompactBytes }
+
+// Datasets lists the dataset names that have on-disk state, sorted.
+func (m *Manager) Datasets() ([]string, error) {
+	entries, err := os.ReadDir(m.opts.Dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		files, err := os.ReadDir(filepath.Join(m.opts.Dir, e.Name()))
+		if err != nil {
+			return nil, err
+		}
+		for _, f := range files {
+			if strings.HasSuffix(f.Name(), snapSuffix) || strings.HasSuffix(f.Name(), walSuffix) {
+				names = append(names, e.Name())
+				break
+			}
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+const (
+	snapSuffix = ".ckps"
+	walSuffix  = ".ckpw"
+)
+
+func snapName(version int64) string { return fmt.Sprintf("snapshot-%d%s", version, snapSuffix) }
+func walName(version int64) string  { return fmt.Sprintf("wal-%d%s", version, walSuffix) }
+
+// parseArtifact extracts the version from a snapshot or WAL file name;
+// ok is false for anything else (temp files, strays).
+func parseArtifact(name, prefix, suffix string) (int64, bool) {
+	if !strings.HasPrefix(name, prefix) || !strings.HasSuffix(name, suffix) {
+		return 0, false
+	}
+	v, err := strconv.ParseInt(name[len(prefix):len(name)-len(suffix)], 10, 64)
+	if err != nil || v < 0 {
+		return 0, false
+	}
+	return v, true
+}
+
+// DatasetLog is the durable state of one dataset: the current snapshot
+// plus its open WAL. All methods are safe for concurrent use, but the
+// owner is expected to serialize LogAppend/LogRelease with the mutations
+// they record (the server holds its per-dataset append lock across both).
+type DatasetLog struct {
+	mu   sync.Mutex
+	dir  string // <root>/<dataset>
+	opts Options
+
+	snapVersion int64 // version of the on-disk snapshot the WAL extends
+	w           *walWriter
+	records     int
+
+	lastCompaction time.Time
+	fsyncCount     int64
+	fsyncTotal     time.Duration
+}
+
+// Create persists a brand-new dataset: its first snapshot plus an empty
+// WAL. Any stale on-disk state under the same name is removed first.
+func (m *Manager) Create(name string, sd *SnapshotData) (*DatasetLog, error) {
+	dir := filepath.Join(m.opts.Dir, name)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	if err := prune(dir, -1); err != nil {
+		return nil, err
+	}
+	if err := writeSnapshotFile(filepath.Join(dir, snapName(sd.Version)), sd); err != nil {
+		return nil, err
+	}
+	dl := &DatasetLog{dir: dir, opts: m.opts, snapVersion: sd.Version}
+	w, err := createWAL(filepath.Join(dir, walName(sd.Version)), sd.Version, m.opts.Fsync)
+	if err != nil {
+		return nil, err
+	}
+	w.onFsync = dl.noteFsync
+	dl.w = w
+	return dl, syncDir(dir)
+}
+
+// Load recovers one dataset: the highest-version valid snapshot, the
+// records of its WAL (torn tail already dropped), and an open DatasetLog
+// positioned to append. Stray temp files and superseded snapshot/WAL
+// generations are pruned. A WAL with no snapshot at all is ErrCorrupt —
+// the appends exist but nothing to replay them onto.
+func (m *Manager) Load(name string) (*SnapshotData, []Record, *DatasetLog, error) {
+	dir := filepath.Join(m.opts.Dir, name)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	var snapVersions []int64
+	haveWAL := false
+	for _, e := range entries {
+		if v, ok := parseArtifact(e.Name(), "snapshot-", snapSuffix); ok {
+			snapVersions = append(snapVersions, v)
+		}
+		if _, ok := parseArtifact(e.Name(), "wal-", walSuffix); ok {
+			haveWAL = true
+		}
+	}
+	if len(snapVersions) == 0 {
+		if haveWAL {
+			return nil, nil, nil, fmt.Errorf("%s: %w", name, corruptf("wal present but no snapshot to replay onto"))
+		}
+		return nil, nil, nil, fmt.Errorf("%s: %w", name, os.ErrNotExist)
+	}
+	sort.Slice(snapVersions, func(i, j int) bool { return snapVersions[i] < snapVersions[j] })
+	v := snapVersions[len(snapVersions)-1]
+	sd, err := readSnapshotFile(filepath.Join(dir, snapName(v)))
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("%s: %w", name, err)
+	}
+	if sd.Version != v {
+		return nil, nil, nil, fmt.Errorf("%s: %w", name, corruptf("snapshot named %d carries version %d", v, sd.Version))
+	}
+
+	dl := &DatasetLog{dir: dir, opts: m.opts, snapVersion: v}
+	walPath := filepath.Join(dir, walName(v))
+	var recs []Record
+	if st, statErr := os.Stat(walPath); statErr == nil && st.Size() >= walHeaderLen {
+		base, rs, good, err := readWAL(walPath)
+		if err != nil {
+			return nil, nil, nil, fmt.Errorf("%s: %w", name, err)
+		}
+		if base != v {
+			return nil, nil, nil, fmt.Errorf("%s: %w", name, corruptf("wal named %d carries base version %d", v, base))
+		}
+		recs = rs
+		w, err := openWALForAppend(walPath, good, m.opts.Fsync)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		w.onFsync = dl.noteFsync
+		dl.w = w
+		dl.records = len(rs)
+	} else {
+		// A crash between the snapshot rename and the WAL creation (in
+		// Create or Compact) leaves a snapshot with no WAL — or with a WAL
+		// shorter than its own header, torn mid-creation before any record
+		// could have committed. Either way nothing is lost; start fresh
+		// (createWAL truncates).
+		w, err := createWAL(walPath, v, m.opts.Fsync)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		w.onFsync = dl.noteFsync
+		dl.w = w
+	}
+	if err := prune(dir, v); err != nil {
+		return nil, nil, nil, err
+	}
+	return sd, recs, dl, nil
+}
+
+// prune removes temp files and every snapshot/WAL generation other than
+// keep (keep < 0 removes them all).
+func prune(dir string, keep int64) error {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return err
+	}
+	for _, e := range entries {
+		name := e.Name()
+		drop := strings.HasSuffix(name, ".tmp")
+		if v, ok := parseArtifact(name, "snapshot-", snapSuffix); ok && v != keep {
+			drop = true
+		}
+		if v, ok := parseArtifact(name, "wal-", walSuffix); ok && v != keep {
+			drop = true
+		}
+		if drop {
+			if err := os.Remove(filepath.Join(dir, name)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// noteFsync accumulates fsync latency for the owner's metrics.
+func (dl *DatasetLog) noteFsync(d time.Duration) {
+	dl.fsyncCount++
+	dl.fsyncTotal += d
+}
+
+// LogAppend durably records one append batch.
+func (dl *DatasetLog) LogAppend(ar *AppendRecord) error {
+	dl.mu.Lock()
+	defer dl.mu.Unlock()
+	if dl.w == nil {
+		return os.ErrClosed
+	}
+	if err := dl.w.append(recAppend, encodeAppendRecord(ar)); err != nil {
+		return err
+	}
+	dl.records++
+	return nil
+}
+
+// LogRelease durably records one release.
+func (dl *DatasetLog) LogRelease(rr *ReleaseRecord) error {
+	dl.mu.Lock()
+	defer dl.mu.Unlock()
+	if dl.w == nil {
+		return os.ErrClosed
+	}
+	if err := dl.w.append(recRelease, appendReleaseRecord(nil, rr)); err != nil {
+		return err
+	}
+	dl.records++
+	return nil
+}
+
+// Bytes reports the WAL's current size in bytes (header included).
+func (dl *DatasetLog) Bytes() int64 {
+	dl.mu.Lock()
+	defer dl.mu.Unlock()
+	if dl.w == nil {
+		return 0
+	}
+	return dl.w.size
+}
+
+// Records reports how many records the current WAL holds.
+func (dl *DatasetLog) Records() int {
+	dl.mu.Lock()
+	defer dl.mu.Unlock()
+	return dl.records
+}
+
+// ShouldCompact reports whether the WAL has grown past the configured
+// threshold.
+func (dl *DatasetLog) ShouldCompact() bool {
+	dl.mu.Lock()
+	defer dl.mu.Unlock()
+	return dl.opts.CompactBytes > 0 && dl.w != nil && dl.w.size > dl.opts.CompactBytes
+}
+
+// Compact rewrites the snapshot at sd's version, starts a fresh empty WAL
+// keyed to it, and prunes the superseded generation. The write order —
+// new snapshot (atomic), new WAL, then prune — keeps every intermediate
+// crash point recoverable: Load always finds the highest-version valid
+// snapshot and tolerates a missing or superseded WAL. Compact also heals
+// a broken log (e.g. after a failed write): the old handle is discarded
+// and fresh ones opened.
+func (dl *DatasetLog) Compact(sd *SnapshotData) error {
+	dl.mu.Lock()
+	defer dl.mu.Unlock()
+	if err := writeSnapshotFile(filepath.Join(dl.dir, snapName(sd.Version)), sd); err != nil {
+		return err
+	}
+	w, err := createWAL(filepath.Join(dl.dir, walName(sd.Version)), sd.Version, dl.opts.Fsync)
+	if err != nil {
+		return err
+	}
+	w.onFsync = dl.noteFsync
+	if dl.w != nil {
+		dl.w.close() // best effort; may already be broken
+	}
+	old := dl.snapVersion
+	dl.w = w
+	dl.snapVersion = sd.Version
+	dl.records = 0
+	dl.lastCompaction = time.Now()
+	if old != sd.Version {
+		if err := prune(dl.dir, sd.Version); err != nil {
+			return err
+		}
+	}
+	return syncDir(dl.dir)
+}
+
+// LastCompaction reports when Compact last ran (zero if never in this
+// process).
+func (dl *DatasetLog) LastCompaction() time.Time {
+	dl.mu.Lock()
+	defer dl.mu.Unlock()
+	return dl.lastCompaction
+}
+
+// FsyncStats reports how many WAL fsyncs have run and their cumulative
+// latency.
+func (dl *DatasetLog) FsyncStats() (count int64, total time.Duration) {
+	dl.mu.Lock()
+	defer dl.mu.Unlock()
+	return dl.fsyncCount, dl.fsyncTotal
+}
+
+// Close releases the WAL file handle. Further Log calls fail; Compact
+// reopens fresh handles.
+func (dl *DatasetLog) Close() error {
+	dl.mu.Lock()
+	defer dl.mu.Unlock()
+	if dl.w == nil {
+		return nil
+	}
+	err := dl.w.close()
+	dl.w = nil
+	return err
+}

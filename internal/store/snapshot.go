@@ -1,0 +1,484 @@
+package store
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+)
+
+// SnapshotData is the materialized content of one columnar snapshot: the
+// dataset version it pins, the opaque source descriptor the domain layer
+// uses to rebuild hierarchies and schema, the encoded table (one
+// dictionary and one dense code column per attribute, in schema order),
+// and the retained release history at that version.
+type SnapshotData struct {
+	// Version is the dataset version (the PR-5 monotone counter) the
+	// snapshot pins; the paired WAL extends exactly this version.
+	Version int64
+	// Rows is the row count of every code column.
+	Rows int
+	// Attrs names the columns in schema order — a cheap consistency check
+	// against the rebuilt schema at recovery.
+	Attrs []string
+	// Source is an opaque JSON descriptor (dataload.SourceSpec) of how to
+	// rebuild the dataset's schema, hierarchies and QI order. The store
+	// never interprets it.
+	Source []byte
+	// Dicts holds each column's dictionary strings in code order.
+	Dicts [][]string
+	// Cols holds each column's dense codes; Cols[c][i] indexes Dicts[c].
+	Cols [][]uint32
+	// Releases is the retained release history; nil means none recorded.
+	Releases *ReleaseState
+}
+
+// ReleaseState persists a dataset's bounded release log: the retained
+// releases plus the counters that survive eviction.
+type ReleaseState struct {
+	// Next is the index the next recorded release will get.
+	Next int
+	// Evicted counts releases dropped past the retention bound.
+	Evicted int
+	// Releases holds the retained releases, oldest first.
+	Releases []ReleaseRecord
+}
+
+// ReleaseRecord is one persisted release: identity, the levels it was
+// published at, and the materialized partition (bucket keys + tuple ids),
+// which recovery turns back into a bucketization without re-running the
+// original version's scan.
+type ReleaseRecord struct {
+	// Index is the release's stable index in the dataset's release log.
+	Index int
+	// Version is the dataset version the release was bucketized at.
+	Version int64
+	// Rows is the row count at that version.
+	Rows int
+	// CreatedUnixNano is the recording wall-clock time.
+	CreatedUnixNano int64
+	// Levels is the generalization the release was published at.
+	Levels map[string]int
+	// Keys holds the bucket keys in bucket order.
+	Keys []string
+	// Groups holds each bucket's tuple (person) ids, aligned with Keys.
+	Groups [][]int
+}
+
+// Snapshot file layout (all integers little-endian unless varint):
+//
+//	magic "CKPS" | uint32 FormatVersion
+//	section*                    — framed, in fixed order: meta, columns,
+//	                              releases (releases optional)
+//
+// Each section:
+//
+//	uint8 type | uint64 payload length | payload | uint32 CRC32(type+payload)
+const (
+	snapMagic = "CKPS"
+
+	secMeta     = 1
+	secColumns  = 2
+	secReleases = 3
+)
+
+// snapMeta is the JSON payload of the meta section. Everything cheap and
+// schema-ish goes here; the bulk data stays binary.
+type snapMeta struct {
+	Version int64           `json:"version"`
+	Rows    int             `json:"rows"`
+	Attrs   []string        `json:"attrs"`
+	Source  json.RawMessage `json:"source"`
+}
+
+// appendSection frames one section onto buf: type, length, payload, CRC.
+func appendSection(buf []byte, typ byte, payload []byte) []byte {
+	buf = append(buf, typ)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(len(payload)))
+	buf = append(buf, payload...)
+	crc := crc32.NewIEEE()
+	crc.Write([]byte{typ})
+	crc.Write(payload)
+	return binary.LittleEndian.AppendUint32(buf, crc.Sum32())
+}
+
+// encodeSnapshot renders sd into the snapshot file format.
+func encodeSnapshot(sd *SnapshotData) ([]byte, error) {
+	if len(sd.Dicts) != len(sd.Cols) || len(sd.Attrs) != len(sd.Cols) {
+		return nil, fmt.Errorf("store: snapshot has %d attrs, %d dicts, %d cols",
+			len(sd.Attrs), len(sd.Dicts), len(sd.Cols))
+	}
+	for c, col := range sd.Cols {
+		if len(col) != sd.Rows {
+			return nil, fmt.Errorf("store: column %d has %d rows, snapshot says %d", c, len(col), sd.Rows)
+		}
+	}
+	buf := append([]byte(snapMagic), 0, 0, 0, 0)
+	binary.LittleEndian.PutUint32(buf[4:], FormatVersion)
+
+	meta, err := json.Marshal(snapMeta{
+		Version: sd.Version, Rows: sd.Rows, Attrs: sd.Attrs, Source: sd.Source,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("store: encoding snapshot meta: %w", err)
+	}
+	buf = appendSection(buf, secMeta, meta)
+
+	var cols []byte
+	cols = binary.AppendUvarint(cols, uint64(len(sd.Cols)))
+	for c := range sd.Cols {
+		cols = binary.AppendUvarint(cols, uint64(len(sd.Dicts[c])))
+		for _, v := range sd.Dicts[c] {
+			cols = appendString(cols, v)
+		}
+		for _, code := range sd.Cols[c] {
+			if int(code) >= len(sd.Dicts[c]) {
+				return nil, fmt.Errorf("store: column %d code %d outside dictionary of %d", c, code, len(sd.Dicts[c]))
+			}
+			cols = binary.LittleEndian.AppendUint32(cols, code)
+		}
+	}
+	buf = appendSection(buf, secColumns, cols)
+
+	if sd.Releases != nil {
+		buf = appendSection(buf, secReleases, encodeReleaseState(sd.Releases))
+	}
+	return buf, nil
+}
+
+// encodeReleaseState renders the releases section payload.
+func encodeReleaseState(rs *ReleaseState) []byte {
+	var b []byte
+	b = binary.AppendUvarint(b, uint64(rs.Next))
+	b = binary.AppendUvarint(b, uint64(rs.Evicted))
+	b = binary.AppendUvarint(b, uint64(len(rs.Releases)))
+	for i := range rs.Releases {
+		b = appendReleaseRecord(b, &rs.Releases[i])
+	}
+	return b
+}
+
+// appendReleaseRecord encodes one release (shared by the snapshot's
+// releases section and the WAL's release records).
+func appendReleaseRecord(b []byte, r *ReleaseRecord) []byte {
+	b = binary.AppendUvarint(b, uint64(r.Index))
+	b = binary.AppendVarint(b, r.Version)
+	b = binary.AppendUvarint(b, uint64(r.Rows))
+	b = binary.AppendVarint(b, r.CreatedUnixNano)
+	levels, _ := json.Marshal(r.Levels) // map[string]int cannot fail
+	b = appendBytes(b, levels)
+	b = binary.AppendUvarint(b, uint64(len(r.Keys)))
+	for i, key := range r.Keys {
+		b = appendString(b, key)
+		group := r.Groups[i]
+		b = binary.AppendUvarint(b, uint64(len(group)))
+		for _, id := range group {
+			b = binary.AppendUvarint(b, uint64(id))
+		}
+	}
+	return b
+}
+
+// decodeReleaseRecord is the inverse of appendReleaseRecord.
+func decodeReleaseRecord(r *byteReader) (ReleaseRecord, error) {
+	var rec ReleaseRecord
+	var err error
+	var u uint64
+	if u, err = r.uvarint(); err != nil {
+		return rec, err
+	}
+	rec.Index = int(u)
+	if rec.Version, err = r.varint(); err != nil {
+		return rec, err
+	}
+	if u, err = r.uvarint(); err != nil {
+		return rec, err
+	}
+	rec.Rows = int(u)
+	if rec.CreatedUnixNano, err = r.varint(); err != nil {
+		return rec, err
+	}
+	levels, err := r.bytes()
+	if err != nil {
+		return rec, err
+	}
+	if err := json.Unmarshal(levels, &rec.Levels); err != nil {
+		return rec, corruptf("release levels: %v", err)
+	}
+	nb, err := r.uvarint()
+	if err != nil {
+		return rec, err
+	}
+	if nb > uint64(r.remaining()) {
+		return rec, corruptf("release claims %d buckets with %d bytes left", nb, r.remaining())
+	}
+	rec.Keys = make([]string, nb)
+	rec.Groups = make([][]int, nb)
+	for i := range rec.Keys {
+		if rec.Keys[i], err = r.string(); err != nil {
+			return rec, err
+		}
+		nt, err := r.uvarint()
+		if err != nil {
+			return rec, err
+		}
+		if nt > uint64(r.remaining()) {
+			return rec, corruptf("bucket claims %d tuples with %d bytes left", nt, r.remaining())
+		}
+		group := make([]int, nt)
+		for j := range group {
+			id, err := r.uvarint()
+			if err != nil {
+				return rec, err
+			}
+			group[j] = int(id)
+		}
+		rec.Groups[i] = group
+	}
+	return rec, nil
+}
+
+// decodeSnapshot parses a snapshot file.
+func decodeSnapshot(data []byte) (*SnapshotData, error) {
+	if len(data) < 8 || string(data[:4]) != snapMagic {
+		return nil, corruptf("snapshot: bad magic")
+	}
+	if v := binary.LittleEndian.Uint32(data[4:]); v != FormatVersion {
+		return nil, fmt.Errorf("%w: snapshot format %d, this build reads %d", ErrFormatVersion, v, FormatVersion)
+	}
+	sd := &SnapshotData{Version: -1}
+	rest := data[8:]
+	seen := map[byte]bool{}
+	for len(rest) > 0 {
+		if len(rest) < 9 {
+			return nil, corruptf("snapshot: truncated section header")
+		}
+		typ := rest[0]
+		n := binary.LittleEndian.Uint64(rest[1:])
+		if n > uint64(len(rest)-9) || len(rest) < int(9+n+4) {
+			return nil, corruptf("snapshot: section %d truncated", typ)
+		}
+		payload := rest[9 : 9+n]
+		crc := crc32.NewIEEE()
+		crc.Write([]byte{typ})
+		crc.Write(payload)
+		if got := binary.LittleEndian.Uint32(rest[9+n:]); got != crc.Sum32() {
+			return nil, corruptf("snapshot: section %d CRC mismatch", typ)
+		}
+		if seen[typ] {
+			return nil, corruptf("snapshot: duplicate section %d", typ)
+		}
+		seen[typ] = true
+		if err := decodeSection(sd, typ, payload); err != nil {
+			return nil, err
+		}
+		rest = rest[9+n+4:]
+	}
+	if !seen[secMeta] || !seen[secColumns] {
+		return nil, corruptf("snapshot: missing meta or columns section")
+	}
+	return sd, nil
+}
+
+// decodeSection dispatches one validated section payload into sd.
+func decodeSection(sd *SnapshotData, typ byte, payload []byte) error {
+	switch typ {
+	case secMeta:
+		var m snapMeta
+		if err := json.Unmarshal(payload, &m); err != nil {
+			return corruptf("snapshot meta: %v", err)
+		}
+		sd.Version, sd.Rows, sd.Attrs, sd.Source = m.Version, m.Rows, m.Attrs, m.Source
+	case secColumns:
+		r := &byteReader{b: payload}
+		ncols, err := r.uvarint()
+		if err != nil {
+			return err
+		}
+		if ncols > uint64(r.remaining()) {
+			return corruptf("snapshot claims %d columns with %d bytes left", ncols, r.remaining())
+		}
+		sd.Dicts = make([][]string, ncols)
+		sd.Cols = make([][]uint32, ncols)
+		for c := range sd.Cols {
+			nd, err := r.uvarint()
+			if err != nil {
+				return err
+			}
+			if nd > uint64(r.remaining()) {
+				return corruptf("dictionary claims %d values with %d bytes left", nd, r.remaining())
+			}
+			dict := make([]string, nd)
+			for i := range dict {
+				if dict[i], err = r.string(); err != nil {
+					return err
+				}
+			}
+			sd.Dicts[c] = dict
+			if r.remaining() < 4*sd.Rows {
+				return corruptf("column %d: %d bytes left for %d codes", c, r.remaining(), sd.Rows)
+			}
+			col := make([]uint32, sd.Rows)
+			for i := range col {
+				code := binary.LittleEndian.Uint32(r.b[r.off:])
+				r.off += 4
+				if int(code) >= len(dict) {
+					return corruptf("column %d row %d: code %d outside dictionary of %d", c, i, code, len(dict))
+				}
+				col[i] = code
+			}
+			sd.Cols[c] = col
+		}
+		if r.remaining() != 0 {
+			return corruptf("snapshot columns section has %d trailing bytes", r.remaining())
+		}
+	case secReleases:
+		r := &byteReader{b: payload}
+		rs := &ReleaseState{}
+		u, err := r.uvarint()
+		if err != nil {
+			return err
+		}
+		rs.Next = int(u)
+		if u, err = r.uvarint(); err != nil {
+			return err
+		}
+		rs.Evicted = int(u)
+		n, err := r.uvarint()
+		if err != nil {
+			return err
+		}
+		if n > uint64(r.remaining()) {
+			return corruptf("snapshot claims %d releases with %d bytes left", n, r.remaining())
+		}
+		rs.Releases = make([]ReleaseRecord, n)
+		for i := range rs.Releases {
+			if rs.Releases[i], err = decodeReleaseRecord(r); err != nil {
+				return err
+			}
+		}
+		sd.Releases = rs
+	default:
+		return corruptf("snapshot: unknown section type %d", typ)
+	}
+	return nil
+}
+
+// writeSnapshotFile writes sd atomically to path: temp file in the same
+// directory, fsync, rename, directory fsync — so a crash leaves either
+// the old file, the new file, or a stray temp file that recovery ignores,
+// never a partial snapshot under the real name.
+func writeSnapshotFile(path string, sd *SnapshotData) error {
+	data, err := encodeSnapshot(sd)
+	if err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return syncDir(filepath.Dir(path))
+}
+
+// readSnapshotFile loads and validates a snapshot file.
+func readSnapshotFile(path string) (*SnapshotData, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	sd, err := decodeSnapshot(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", filepath.Base(path), err)
+	}
+	return sd, nil
+}
+
+// syncDir fsyncs a directory so a just-renamed file survives a crash.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+// ---- small binary helpers shared with the WAL ----
+
+// appendString length-prefixes s.
+func appendString(b []byte, s string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+// appendBytes length-prefixes p.
+func appendBytes(b, p []byte) []byte {
+	b = binary.AppendUvarint(b, uint64(len(p)))
+	return append(b, p...)
+}
+
+// byteReader is a bounds-checked cursor over one payload; every decoding
+// error it returns wraps ErrCorrupt.
+type byteReader struct {
+	b   []byte
+	off int
+}
+
+func (r *byteReader) remaining() int { return len(r.b) - r.off }
+
+func (r *byteReader) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(r.b[r.off:])
+	if n <= 0 {
+		return 0, corruptf("truncated uvarint at offset %d", r.off)
+	}
+	r.off += n
+	return v, nil
+}
+
+func (r *byteReader) varint() (int64, error) {
+	v, n := binary.Varint(r.b[r.off:])
+	if n <= 0 {
+		return 0, corruptf("truncated varint at offset %d", r.off)
+	}
+	r.off += n
+	return v, nil
+}
+
+func (r *byteReader) bytes() ([]byte, error) {
+	n, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n > uint64(r.remaining()) {
+		return nil, corruptf("length %d exceeds %d remaining bytes", n, r.remaining())
+	}
+	p := r.b[r.off : r.off+int(n)]
+	r.off += int(n)
+	return p, nil
+}
+
+func (r *byteReader) string() (string, error) {
+	p, err := r.bytes()
+	return string(p), err
+}

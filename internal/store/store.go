@@ -1,0 +1,62 @@
+// Package store is ckprivacy's durability subsystem: crash-safe, on-disk
+// persistence for registered datasets, so a restarted daemon boots warm
+// (load a columnar snapshot + replay a short WAL tail) instead of cold
+// (re-parse, re-encode, re-warm everything).
+//
+// Two artifacts live under <dir>/<dataset>/ per dataset:
+//
+//   - snapshot-<version>.ckps — a versioned binary columnar snapshot of
+//     the dataset's table.Encoded view (per-attribute dictionaries plus
+//     dense uint32 code columns), its rebuild source descriptor, and the
+//     retained release history. Snapshots are written atomically (temp
+//     file + rename + directory fsync) and every section carries a CRC32,
+//     so a snapshot is either wholly valid or detected corrupt — never
+//     silently partial.
+//
+//   - wal-<version>.ckpw — an append-only log of the mutations since that
+//     snapshot: append batches and release records, each framed with a
+//     length header and a CRC32, fsync'd on commit. The version in the
+//     file name keys the WAL to the snapshot it extends.
+//
+// Recovery reads the highest-version valid snapshot and replays the
+// paired WAL. A torn final record (a crash mid-write leaves fewer bytes
+// than its header promises) is tolerated: replay stops at the last
+// complete record and the tail is truncated before new appends. Any
+// complete record or section whose CRC does not match is ErrCorrupt; a
+// format version newer than this build understands is ErrFormatVersion.
+// Compaction rewrites the snapshot at the current version, starts a fresh
+// WAL, and prunes the old files; every intermediate crash point leaves a
+// recoverable directory.
+//
+// The package is deliberately below the domain layers: it moves dicts,
+// code columns, rows and release records as plain slices and maps, and
+// knows nothing about hierarchies, problems or servers. internal/server
+// owns the orchestration (what to snapshot, when to compact, how to
+// replay through anonymize.Problem.Append).
+package store
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrCorrupt marks on-disk state that fails validation: a bad magic, a
+// CRC mismatch on a complete section or record, impossible lengths, or a
+// WAL without its snapshot. Recovery refuses to guess; callers match it
+// with errors.Is.
+var ErrCorrupt = errors.New("store: corrupt")
+
+// ErrFormatVersion marks a snapshot or WAL written by a newer format
+// version than this build understands. The data may be perfectly valid —
+// it just needs a newer reader — so it is distinct from ErrCorrupt.
+var ErrFormatVersion = errors.New("store: unsupported format version")
+
+// FormatVersion is the on-disk layout version this build reads and
+// writes. Readers reject higher versions with ErrFormatVersion; future
+// layouts bump it so old and new files can coexist in one directory.
+const FormatVersion = 1
+
+// corruptf wraps ErrCorrupt with context.
+func corruptf(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrCorrupt, fmt.Sprintf(format, args...))
+}

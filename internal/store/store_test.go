@@ -1,0 +1,543 @@
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// sampleSnapshot builds a small but fully featured snapshot: two columns,
+// a source descriptor, and one retained release.
+func sampleSnapshot() *SnapshotData {
+	return &SnapshotData{
+		Version: 3,
+		Rows:    4,
+		Attrs:   []string{"Zip", "Sex"},
+		Source:  []byte(`{"kind":"hospital"}`),
+		Dicts: [][]string{
+			{"13053", "14853"},
+			{"M", "F"},
+		},
+		Cols: [][]uint32{
+			{0, 0, 1, 1},
+			{0, 1, 1, 0},
+		},
+		Releases: &ReleaseState{
+			Next:    2,
+			Evicted: 1,
+			Releases: []ReleaseRecord{{
+				Index:           1,
+				Version:         2,
+				Rows:            3,
+				CreatedUnixNano: 12345,
+				Levels:          map[string]int{"Zip": 1},
+				Keys:            []string{"130**|*", "148**|*"},
+				Groups:          [][]int{{0, 1}, {2}},
+			}},
+		},
+	}
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "snapshot-3.ckps")
+	want := sampleSnapshot()
+	if err := writeSnapshotFile(path, want); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	got, err := readSnapshotFile(path)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, want)
+	}
+	// No stray temp file survives a clean write.
+	if _, err := os.Stat(path + ".tmp"); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("temp file left behind: %v", err)
+	}
+}
+
+func TestSnapshotNoReleases(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "s.ckps")
+	want := sampleSnapshot()
+	want.Releases = nil
+	if err := writeSnapshotFile(path, want); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	got, err := readSnapshotFile(path)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if got.Releases != nil {
+		t.Fatalf("expected nil releases, got %+v", got.Releases)
+	}
+}
+
+func TestWALRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "wal-3.ckpw")
+	w, err := createWAL(path, 3, true)
+	if err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	ar := &AppendRecord{Version: 4, Rows: [][]string{{"14850", "M"}, {"14851", "F"}}}
+	rr := &ReleaseRecord{
+		Index: 0, Version: 4, Rows: 6, CreatedUnixNano: 99,
+		Levels: map[string]int{"Zip": 2},
+		Keys:   []string{"1****|*"}, Groups: [][]int{{0, 1, 2, 3, 4, 5}},
+	}
+	if err := w.append(recAppend, encodeAppendRecord(ar)); err != nil {
+		t.Fatalf("append: %v", err)
+	}
+	if err := w.append(recRelease, appendReleaseRecord(nil, rr)); err != nil {
+		t.Fatalf("release: %v", err)
+	}
+	if err := w.close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	base, recs, good, err := readWAL(path)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if base != 3 {
+		t.Fatalf("base = %d, want 3", base)
+	}
+	fi, _ := os.Stat(path)
+	if good != fi.Size() {
+		t.Fatalf("good offset %d != file size %d", good, fi.Size())
+	}
+	if len(recs) != 2 || recs[0].Append == nil || recs[1].Release == nil {
+		t.Fatalf("unexpected records: %+v", recs)
+	}
+	if !reflect.DeepEqual(recs[0].Append, ar) {
+		t.Fatalf("append mismatch: got %+v want %+v", recs[0].Append, ar)
+	}
+	if !reflect.DeepEqual(recs[1].Release, rr) {
+		t.Fatalf("release mismatch: got %+v want %+v", recs[1].Release, rr)
+	}
+}
+
+// TestWALTornTailEveryPrefix exhaustively truncates a WAL at every byte
+// length from the header to the full file and asserts replay never errors
+// and always yields a prefix of the committed records — the torn-tail
+// property the crash model relies on.
+func TestWALTornTailEveryPrefix(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "wal-0.ckpw")
+	w, err := createWAL(path, 0, false)
+	if err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	var bounds []int64 // good offsets after each commit
+	bounds = append(bounds, w.size)
+	for i := 0; i < 5; i++ {
+		ar := &AppendRecord{Version: int64(i + 1), Rows: [][]string{{"v", "w"}}}
+		if err := w.append(recAppend, encodeAppendRecord(ar)); err != nil {
+			t.Fatalf("append: %v", err)
+		}
+		bounds = append(bounds, w.size)
+	}
+	w.close()
+	full, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := int64(walHeaderLen); cut <= int64(len(full)); cut++ {
+		if err := os.WriteFile(path, full[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		_, recs, good, err := readWAL(path)
+		if err != nil {
+			t.Fatalf("cut=%d: %v", cut, err)
+		}
+		// The recovered prefix must end exactly at the last commit
+		// boundary at or below the cut.
+		wantN := 0
+		for i, b := range bounds {
+			if b <= cut {
+				wantN = i
+			}
+		}
+		if len(recs) != wantN {
+			t.Fatalf("cut=%d: got %d records, want %d", cut, len(recs), wantN)
+		}
+		if good != bounds[wantN] {
+			t.Fatalf("cut=%d: good=%d, want %d", cut, good, bounds[wantN])
+		}
+		for i, r := range recs {
+			if r.Append == nil || r.Append.Version != int64(i+1) {
+				t.Fatalf("cut=%d: record %d = %+v", cut, i, r)
+			}
+		}
+	}
+}
+
+// TestCorruptionTable drives the typed-error contract: every way a file
+// can be damaged maps to ErrCorrupt, and a newer format version maps to
+// ErrFormatVersion.
+func TestCorruptionTable(t *testing.T) {
+	mkSnap := func(t *testing.T, dir string) string {
+		path := filepath.Join(dir, "snapshot-3.ckps")
+		if err := writeSnapshotFile(path, sampleSnapshot()); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	mkWAL := func(t *testing.T, dir string) string {
+		path := filepath.Join(dir, "wal-3.ckpw")
+		w, err := createWAL(path, 3, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ar := &AppendRecord{Version: 4, Rows: [][]string{{"a", "b"}}}
+		if err := w.append(recAppend, encodeAppendRecord(ar)); err != nil {
+			t.Fatal(err)
+		}
+		w.close()
+		return path
+	}
+	readSnap := func(path string) error { _, err := readSnapshotFile(path); return err }
+	readWal := func(path string) error { _, _, _, err := readWAL(path); return err }
+
+	cases := []struct {
+		name    string
+		make    func(*testing.T, string) string
+		mutate  func(*testing.T, string)
+		read    func(string) error
+		wantErr error
+	}{
+		{
+			name: "snapshot flipped payload byte",
+			make: mkSnap,
+			mutate: func(t *testing.T, path string) {
+				flipByte(t, path, 20) // inside the meta section payload
+			},
+			read:    readSnap,
+			wantErr: ErrCorrupt,
+		},
+		{
+			name: "snapshot flipped CRC byte",
+			make: mkSnap,
+			mutate: func(t *testing.T, path string) {
+				data, _ := os.ReadFile(path)
+				flipByte(t, path, int64(len(data)-1)) // last section's CRC
+			},
+			read:    readSnap,
+			wantErr: ErrCorrupt,
+		},
+		{
+			name: "snapshot truncated mid-section",
+			make: mkSnap,
+			mutate: func(t *testing.T, path string) {
+				data, _ := os.ReadFile(path)
+				os.WriteFile(path, data[:len(data)-3], 0o644)
+			},
+			read:    readSnap,
+			wantErr: ErrCorrupt,
+		},
+		{
+			name: "snapshot bad magic",
+			make: mkSnap,
+			mutate: func(t *testing.T, path string) {
+				flipByte(t, path, 0)
+			},
+			read:    readSnap,
+			wantErr: ErrCorrupt,
+		},
+		{
+			name: "snapshot newer format version",
+			make: mkSnap,
+			mutate: func(t *testing.T, path string) {
+				setUint32(t, path, 4, FormatVersion+1)
+			},
+			read:    readSnap,
+			wantErr: ErrFormatVersion,
+		},
+		{
+			name: "wal flipped byte in complete record",
+			make: mkWAL,
+			mutate: func(t *testing.T, path string) {
+				flipByte(t, path, walHeaderLen+6) // inside the record payload
+			},
+			read:    readWal,
+			wantErr: ErrCorrupt,
+		},
+		{
+			name: "wal bad magic",
+			make: mkWAL,
+			mutate: func(t *testing.T, path string) {
+				flipByte(t, path, 1)
+			},
+			read:    readWal,
+			wantErr: ErrCorrupt,
+		},
+		{
+			name: "wal newer format version",
+			make: mkWAL,
+			mutate: func(t *testing.T, path string) {
+				setUint32(t, path, 4, FormatVersion+1)
+			},
+			read:    readWal,
+			wantErr: ErrFormatVersion,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			path := tc.make(t, dir)
+			tc.mutate(t, path)
+			err := tc.read(path)
+			if !errors.Is(err, tc.wantErr) {
+				t.Fatalf("got %v, want %v", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func flipByte(t *testing.T, path string, off int64) {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[off] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func setUint32(t *testing.T, path string, off int64, v uint32) {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	binary.LittleEndian.PutUint32(data[off:], v)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestManagerCreateLoadCompact(t *testing.T) {
+	root := t.TempDir()
+	m, err := Open(Options{Dir: root, Fsync: true, CompactBytes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sd := sampleSnapshot()
+	dl, err := m.Create("hospital", sd)
+	if err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	ar := &AppendRecord{Version: 4, Rows: [][]string{{"14850", "M"}}}
+	if err := dl.LogAppend(ar); err != nil {
+		t.Fatalf("log append: %v", err)
+	}
+	if got := dl.Records(); got != 1 {
+		t.Fatalf("records = %d, want 1", got)
+	}
+	if !dl.ShouldCompact() {
+		t.Fatal("tiny threshold should demand compaction")
+	}
+	if n, total := dl.FsyncStats(); n == 0 || total <= 0 {
+		t.Fatalf("fsync stats not recorded: n=%d total=%v", n, total)
+	}
+	dl.Close()
+
+	names, err := m.Datasets()
+	if err != nil || len(names) != 1 || names[0] != "hospital" {
+		t.Fatalf("datasets = %v, %v", names, err)
+	}
+
+	got, recs, dl2, err := m.Load("hospital")
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	if !reflect.DeepEqual(got, sd) {
+		t.Fatalf("loaded snapshot mismatch")
+	}
+	if len(recs) != 1 || !reflect.DeepEqual(recs[0].Append, ar) {
+		t.Fatalf("loaded records mismatch: %+v", recs)
+	}
+
+	// Compact to version 4: new generation written, old pruned, WAL empty.
+	sd4 := sampleSnapshot()
+	sd4.Version = 4
+	sd4.Rows = 5
+	sd4.Dicts[0] = append(sd4.Dicts[0], "14850")
+	sd4.Cols[0] = append(sd4.Cols[0], 2)
+	sd4.Cols[1] = append(sd4.Cols[1], 0)
+	if err := dl2.Compact(sd4); err != nil {
+		t.Fatalf("compact: %v", err)
+	}
+	if dl2.LastCompaction().IsZero() {
+		t.Fatal("LastCompaction not set")
+	}
+	if got := dl2.Records(); got != 0 {
+		t.Fatalf("records after compact = %d, want 0", got)
+	}
+	entries, _ := os.ReadDir(filepath.Join(root, "hospital"))
+	var files []string
+	for _, e := range entries {
+		files = append(files, e.Name())
+	}
+	want := []string{"snapshot-4.ckps", "wal-4.ckpw"}
+	if !reflect.DeepEqual(files, want) {
+		t.Fatalf("files after compact = %v, want %v", files, want)
+	}
+	dl2.Close()
+
+	got4, recs4, dl3, err := m.Load("hospital")
+	if err != nil {
+		t.Fatalf("load after compact: %v", err)
+	}
+	defer dl3.Close()
+	if got4.Version != 4 || len(recs4) != 0 {
+		t.Fatalf("after compact: version=%d records=%d", got4.Version, len(recs4))
+	}
+}
+
+func TestManagerLoadCrashStates(t *testing.T) {
+	t.Run("wal without snapshot is corrupt", func(t *testing.T) {
+		root := t.TempDir()
+		m, _ := Open(Options{Dir: root})
+		dir := filepath.Join(root, "ds")
+		os.MkdirAll(dir, 0o755)
+		w, err := createWAL(filepath.Join(dir, "wal-1.ckpw"), 1, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w.close()
+		_, _, _, err = m.Load("ds")
+		if !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("got %v, want ErrCorrupt", err)
+		}
+	})
+	t.Run("wal torn mid-header is recreated", func(t *testing.T) {
+		// A kill during createWAL leaves a WAL shorter than its own header.
+		// No record can have committed to it, so Load must start a fresh
+		// one instead of refusing to boot.
+		root := t.TempDir()
+		m, _ := Open(Options{Dir: root})
+		dir := filepath.Join(root, "ds")
+		os.MkdirAll(dir, 0o755)
+		sd := sampleSnapshot()
+		if err := writeSnapshotFile(filepath.Join(dir, snapName(sd.Version)), sd); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, walName(sd.Version)), []byte("CKPW\x01"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		got, recs, dl, err := m.Load("ds")
+		if err != nil {
+			t.Fatalf("load: %v", err)
+		}
+		defer dl.Close()
+		if got.Version != sd.Version || len(recs) != 0 {
+			t.Fatalf("version=%d records=%d", got.Version, len(recs))
+		}
+		if err := dl.LogAppend(&AppendRecord{Version: sd.Version + 1, Rows: [][]string{{"a"}}}); err != nil {
+			t.Fatalf("append to recreated wal: %v", err)
+		}
+	})
+	t.Run("snapshot without wal gets a fresh one", func(t *testing.T) {
+		root := t.TempDir()
+		m, _ := Open(Options{Dir: root})
+		dir := filepath.Join(root, "ds")
+		os.MkdirAll(dir, 0o755)
+		sd := sampleSnapshot()
+		if err := writeSnapshotFile(filepath.Join(dir, snapName(sd.Version)), sd); err != nil {
+			t.Fatal(err)
+		}
+		got, recs, dl, err := m.Load("ds")
+		if err != nil {
+			t.Fatalf("load: %v", err)
+		}
+		defer dl.Close()
+		if got.Version != sd.Version || len(recs) != 0 {
+			t.Fatalf("version=%d records=%d", got.Version, len(recs))
+		}
+		if _, err := os.Stat(filepath.Join(dir, walName(sd.Version))); err != nil {
+			t.Fatalf("fresh wal missing: %v", err)
+		}
+	})
+	t.Run("strays and old generations pruned", func(t *testing.T) {
+		root := t.TempDir()
+		m, _ := Open(Options{Dir: root})
+		dir := filepath.Join(root, "ds")
+		os.MkdirAll(dir, 0o755)
+		old := sampleSnapshot()
+		old.Version = 2
+		if err := writeSnapshotFile(filepath.Join(dir, snapName(2)), old); err != nil {
+			t.Fatal(err)
+		}
+		cur := sampleSnapshot()
+		if err := writeSnapshotFile(filepath.Join(dir, snapName(cur.Version)), cur); err != nil {
+			t.Fatal(err)
+		}
+		os.WriteFile(filepath.Join(dir, "snapshot-9.ckps.tmp"), []byte("junk"), 0o644)
+		w, _ := createWAL(filepath.Join(dir, walName(2)), 2, false)
+		w.close()
+		_, _, dl, err := m.Load("ds")
+		if err != nil {
+			t.Fatalf("load: %v", err)
+		}
+		defer dl.Close()
+		entries, _ := os.ReadDir(dir)
+		var files []string
+		for _, e := range entries {
+			files = append(files, e.Name())
+		}
+		want := []string{snapName(3), walName(3)}
+		if !reflect.DeepEqual(files, want) {
+			t.Fatalf("files = %v, want %v", files, want)
+		}
+	})
+	t.Run("missing dataset", func(t *testing.T) {
+		root := t.TempDir()
+		m, _ := Open(Options{Dir: root})
+		_, _, _, err := m.Load("nope")
+		if !errors.Is(err, os.ErrNotExist) {
+			t.Fatalf("got %v, want ErrNotExist", err)
+		}
+	})
+}
+
+// TestLogAfterCloseHealsByCompact models the persist-failure recovery
+// path: writes to a closed log fail with os.ErrClosed, and Compact
+// reopens fresh handles so logging works again.
+func TestLogAfterCloseHealsByCompact(t *testing.T) {
+	root := t.TempDir()
+	m, _ := Open(Options{Dir: root})
+	dl, err := m.Create("ds", sampleSnapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dl.Close()
+	err = dl.LogAppend(&AppendRecord{Version: 4, Rows: [][]string{{"a", "b"}}})
+	if !errors.Is(err, os.ErrClosed) {
+		t.Fatalf("got %v, want os.ErrClosed", err)
+	}
+	sd := sampleSnapshot()
+	sd.Version = 5
+	if err := dl.Compact(sd); err != nil {
+		t.Fatalf("compact after close: %v", err)
+	}
+	if err := dl.LogAppend(&AppendRecord{Version: 6, Rows: [][]string{{"a", "b"}}}); err != nil {
+		t.Fatalf("log after heal: %v", err)
+	}
+	dl.Close()
+	got, recs, dl2, err := m.Load("ds")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dl2.Close()
+	if got.Version != 5 || len(recs) != 1 || recs[0].Append.Version != 6 {
+		t.Fatalf("after heal: version=%d recs=%+v", got.Version, recs)
+	}
+}

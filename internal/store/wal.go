@@ -1,0 +1,269 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"time"
+)
+
+// WAL file layout (all integers little-endian unless varint):
+//
+//	magic "CKPW" | uint32 FormatVersion | int64 base snapshot version
+//	record*
+//
+// Each record:
+//
+//	uint32 payload length | uint8 type | payload | uint32 CRC32(type+payload)
+//
+// A crash mid-write can leave fewer bytes than the length header promises;
+// that torn tail is tolerated and truncated on open. A complete record
+// whose CRC does not match is ErrCorrupt.
+const (
+	walMagic     = "CKPW"
+	walHeaderLen = 4 + 4 + 8
+
+	recAppend  = 1
+	recRelease = 2
+)
+
+// Record is one replayed WAL record: exactly one of Append or Release is
+// set.
+type Record struct {
+	// Append holds an append batch, when the record is one.
+	Append *AppendRecord
+	// Release holds a release record, when the record is one.
+	Release *ReleaseRecord
+}
+
+// AppendRecord is one durably logged append batch.
+type AppendRecord struct {
+	// Version is the dataset version the batch produced (the PR-5 counter
+	// after the append). Replay asserts the in-memory append reproduces it.
+	Version int64
+	// Rows holds the appended rows in schema column order.
+	Rows [][]string
+}
+
+// encodeAppendRecord renders an append record payload.
+func encodeAppendRecord(ar *AppendRecord) []byte {
+	var b []byte
+	b = binary.AppendVarint(b, ar.Version)
+	b = binary.AppendUvarint(b, uint64(len(ar.Rows)))
+	for _, row := range ar.Rows {
+		b = binary.AppendUvarint(b, uint64(len(row)))
+		for _, v := range row {
+			b = appendString(b, v)
+		}
+	}
+	return b
+}
+
+// decodeAppendRecord is the inverse of encodeAppendRecord.
+func decodeAppendRecord(payload []byte) (*AppendRecord, error) {
+	r := &byteReader{b: payload}
+	ar := &AppendRecord{}
+	var err error
+	if ar.Version, err = r.varint(); err != nil {
+		return nil, err
+	}
+	n, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n > uint64(r.remaining()) {
+		return nil, corruptf("append record claims %d rows with %d bytes left", n, r.remaining())
+	}
+	ar.Rows = make([][]string, n)
+	for i := range ar.Rows {
+		w, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if w > uint64(r.remaining()) {
+			return nil, corruptf("append row claims %d values with %d bytes left", w, r.remaining())
+		}
+		row := make([]string, w)
+		for j := range row {
+			if row[j], err = r.string(); err != nil {
+				return nil, err
+			}
+		}
+		ar.Rows[i] = row
+	}
+	if r.remaining() != 0 {
+		return nil, corruptf("append record has %d trailing bytes", r.remaining())
+	}
+	return ar, nil
+}
+
+// encodeRecord frames one record for the WAL.
+func encodeRecord(typ byte, payload []byte) []byte {
+	b := make([]byte, 0, 4+1+len(payload)+4)
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(payload)))
+	b = append(b, typ)
+	b = append(b, payload...)
+	crc := crc32.NewIEEE()
+	crc.Write([]byte{typ})
+	crc.Write(payload)
+	return binary.LittleEndian.AppendUint32(b, crc.Sum32())
+}
+
+// walHeader renders the fixed file header for a WAL based at version.
+func walHeader(version int64) []byte {
+	b := append([]byte(walMagic), 0, 0, 0, 0)
+	binary.LittleEndian.PutUint32(b[4:], FormatVersion)
+	return binary.LittleEndian.AppendUint64(b, uint64(version))
+}
+
+// readWAL parses a WAL file: header, then every complete record. It
+// returns the base snapshot version, the records, and the byte offset
+// just past the last complete record — a torn tail beyond it is the
+// caller's to truncate. A complete record that fails its CRC, or a
+// header too short or mismatched, is ErrCorrupt.
+func readWAL(path string) (base int64, recs []Record, good int64, err error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0, nil, 0, err
+	}
+	if len(data) < walHeaderLen {
+		return 0, nil, 0, corruptf("wal: file shorter than header")
+	}
+	if string(data[:4]) != walMagic {
+		return 0, nil, 0, corruptf("wal: bad magic")
+	}
+	if v := binary.LittleEndian.Uint32(data[4:]); v != FormatVersion {
+		return 0, nil, 0, fmt.Errorf("%w: wal format %d, this build reads %d", ErrFormatVersion, v, FormatVersion)
+	}
+	base = int64(binary.LittleEndian.Uint64(data[8:]))
+	off := int64(walHeaderLen)
+	for {
+		rest := data[off:]
+		if len(rest) == 0 {
+			return base, recs, off, nil
+		}
+		if len(rest) < 4+1 {
+			// Torn header: the crash happened before even the length and
+			// type landed. Replay stops here.
+			return base, recs, off, nil
+		}
+		n := binary.LittleEndian.Uint32(rest)
+		total := int64(4 + 1 + int64(n) + 4)
+		if int64(len(rest)) < total {
+			// Torn record: fewer bytes on disk than the header promises.
+			return base, recs, off, nil
+		}
+		typ := rest[4]
+		payload := rest[5 : 5+n]
+		crc := crc32.NewIEEE()
+		crc.Write([]byte{typ})
+		crc.Write(payload)
+		if got := binary.LittleEndian.Uint32(rest[5+n:]); got != crc.Sum32() {
+			// The record is complete on disk but its bytes are wrong:
+			// that is corruption, not a torn write.
+			return 0, nil, 0, corruptf("wal: record at offset %d CRC mismatch", off)
+		}
+		rec, err := decodeWALRecord(typ, payload)
+		if err != nil {
+			return 0, nil, 0, fmt.Errorf("wal record at offset %d: %w", off, err)
+		}
+		recs = append(recs, rec)
+		off += total
+	}
+}
+
+// decodeWALRecord turns one validated record body into a Record.
+func decodeWALRecord(typ byte, payload []byte) (Record, error) {
+	switch typ {
+	case recAppend:
+		ar, err := decodeAppendRecord(payload)
+		if err != nil {
+			return Record{}, err
+		}
+		return Record{Append: ar}, nil
+	case recRelease:
+		r := &byteReader{b: payload}
+		rr, err := decodeReleaseRecord(r)
+		if err != nil {
+			return Record{}, err
+		}
+		if r.remaining() != 0 {
+			return Record{}, corruptf("release record has %d trailing bytes", r.remaining())
+		}
+		return Record{Release: &rr}, nil
+	default:
+		return Record{}, corruptf("wal: unknown record type %d", typ)
+	}
+}
+
+// walWriter owns an open WAL file handle positioned at its end.
+type walWriter struct {
+	f       *os.File
+	size    int64
+	fsync   bool
+	onFsync func(time.Duration) // observes each commit fsync's latency
+}
+
+// createWAL starts a fresh WAL based at version, fsyncing the header (and
+// the directory entry) so the file survives a crash immediately after
+// creation.
+func createWAL(path string, version int64, fsync bool) (*walWriter, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	hdr := walHeader(version)
+	if _, err := f.Write(hdr); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if fsync {
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	return &walWriter{f: f, size: int64(len(hdr)), fsync: fsync}, nil
+}
+
+// openWALForAppend reopens an existing WAL, truncates it to goodSize
+// (discarding any torn tail) and positions writes at the end.
+func openWALForAppend(path string, goodSize int64, fsync bool) (*walWriter, error) {
+	f, err := os.OpenFile(path, os.O_WRONLY, 0)
+	if err != nil {
+		return nil, err
+	}
+	if err := f.Truncate(goodSize); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if _, err := f.Seek(goodSize, io.SeekStart); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &walWriter{f: f, size: goodSize, fsync: fsync}, nil
+}
+
+// append frames and writes one record, fsyncing when configured. The
+// record is durable when append returns nil (with fsync on).
+func (w *walWriter) append(typ byte, payload []byte) error {
+	rec := encodeRecord(typ, payload)
+	if _, err := w.f.Write(rec); err != nil {
+		return err
+	}
+	if w.fsync {
+		start := time.Now()
+		if err := w.f.Sync(); err != nil {
+			return err
+		}
+		if w.onFsync != nil {
+			w.onFsync(time.Since(start))
+		}
+	}
+	w.size += int64(len(rec))
+	return nil
+}
+
+func (w *walWriter) close() error { return w.f.Close() }

@@ -1,6 +1,10 @@
 package table
 
-import "fmt"
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
 
 // This file implements the columnar, dictionary-encoded view of a table.
 // The row-oriented Table remains the source of truth and the reference
@@ -123,6 +127,87 @@ func (t *Table) Encode() *Encoded {
 		}
 	}
 	return e
+}
+
+// NewEncodedFromParts rebuilds a master Encoded view from its raw
+// columnar parts — per-column dictionary strings (in code order) and
+// dense code columns — as recovered from a durable snapshot. It is the
+// warm-boot inverse of Encode: instead of interning every row value, it
+// validates each dictionary once (O(distinct values), not O(rows)),
+// rebuilds the lookup indexes, and decodes the row-oriented Table by
+// sharing the dictionary strings. The result upholds every master-view
+// invariant, so Append and Snapshot work on it exactly as on an encoding
+// built from rows.
+func NewEncodedFromParts(s *Schema, dicts [][]string, cols [][]uint32) (*Encoded, error) {
+	if len(dicts) != len(s.Attrs) || len(cols) != len(s.Attrs) {
+		return nil, fmt.Errorf("table: schema has %d attributes, parts have %d dicts and %d columns",
+			len(s.Attrs), len(dicts), len(cols))
+	}
+	rows := 0
+	if len(cols) > 0 {
+		rows = len(cols[0])
+	}
+	e := &Encoded{
+		Table: &Table{Schema: s, Rows: make([]Row, rows)},
+		Dicts: make([]*Dict, len(dicts)),
+		Cols:  cols,
+	}
+	for c, values := range dicts {
+		if len(cols[c]) != rows {
+			return nil, fmt.Errorf("table: column %d has %d rows, column 0 has %d", c, len(cols[c]), rows)
+		}
+		d := &Dict{values: values, index: make(map[string]uint32, len(values))}
+		for code, v := range values {
+			if err := s.Attrs[c].Validate(v); err != nil {
+				return nil, fmt.Errorf("table: column %q dictionary: %w", s.Attrs[c].Name, err)
+			}
+			if _, dup := d.index[v]; dup {
+				return nil, fmt.Errorf("table: column %q dictionary repeats %q", s.Attrs[c].Name, v)
+			}
+			d.index[v] = uint32(code)
+		}
+		e.Dicts[c] = d
+	}
+	// Validate every code against its dictionary in one tight pass per
+	// column, so the fill below can index without bounds branches.
+	for c, col := range cols {
+		limit := uint32(len(dicts[c]))
+		for i, code := range col {
+			if code >= limit {
+				return nil, fmt.Errorf("table: column %d row %d: code %d outside dictionary of %d",
+					c, i, code, limit)
+			}
+		}
+	}
+	// One flat backing array for every row — one allocation instead of one
+	// per row — filled in parallel chunks: warm-boot recovery calls this on
+	// its critical path, and materializing ~rows×ncols string headers is
+	// the single largest cost of a restart.
+	ncols := len(cols)
+	backing := make([]string, rows*ncols)
+	fill := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			r := backing[i*ncols : (i+1)*ncols : (i+1)*ncols]
+			for c := 0; c < ncols; c++ {
+				r[c] = dicts[c][cols[c][i]]
+			}
+			e.Table.Rows[i] = Row(r)
+		}
+	}
+	const parallelThreshold = 8192
+	if workers := runtime.GOMAXPROCS(0); rows >= parallelThreshold && workers > 1 {
+		chunk := (rows + workers - 1) / workers
+		var wg sync.WaitGroup
+		for lo := 0; lo < rows; lo += chunk {
+			hi := min(lo+chunk, rows)
+			wg.Add(1)
+			go func() { defer wg.Done(); fill(lo, hi) }()
+		}
+		wg.Wait()
+	} else {
+		fill(0, rows)
+	}
+	return e, nil
 }
 
 // AppendDelta reports what one Append changed: where the new rows start

@@ -2,7 +2,8 @@
 // the code honest. It (1) checks every relative markdown link in README.md
 // and docs/*.md resolves to an existing file (and every same-file #anchor
 // to a real heading), and (2) asserts exported-symbol doc-comment coverage
-// for the public ckprivacy package and internal/server — every exported
+// for the public ckprivacy package, internal/server and internal/store —
+// every exported
 // type, function, method, constant and variable must carry a doc comment,
 // so pkg.go.dev never renders a bare name. It exits non-zero listing every
 // offender.
@@ -24,6 +25,7 @@ func main() {
 	problems = append(problems, checkMarkdown()...)
 	problems = append(problems, checkDocComments(".", "ckprivacy")...)
 	problems = append(problems, checkDocComments("internal/server", "server")...)
+	problems = append(problems, checkDocComments("internal/store", "store")...)
 	problems = append(problems, checkDocComments("docs", "docs")...)
 	if len(problems) > 0 {
 		for _, p := range problems {
