@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet fmt fmt-check test race bench bench-json bench-compare examples serve lint docs-check loadtest loadtest-restart
+.PHONY: all build vet vet-ck fmt fmt-check test race bench bench-json bench-compare examples serve lint docs-check loadtest loadtest-restart fuzz-smoke loadtest-race
 
 all: build vet fmt-check test
 
@@ -12,6 +12,16 @@ build:
 
 vet:
 	$(GO) vet ./...
+
+## vet-ck runs the repo's own invariant analyzers (internal/tools/ckvet):
+## maporder, errenvelope, atomicwrite, snapshotmut, poolleak. These
+## enforce the contracts ordinary tests cannot economically cover —
+## deterministic map-iteration output, envelope-only error responses,
+## atomic snapshot publication, pinned immutability, and sync.Pool
+## hygiene. Suppressions require a //ckvet:ignore <analyzer> <reason>
+## comment; see `go run ./internal/tools/ckvet -list`.
+vet-ck:
+	$(GO) run ./internal/tools/ckvet ./...
 
 ## fmt rewrites files in place; fmt-check (used by CI) only reports.
 fmt:
@@ -31,7 +41,9 @@ race:
 
 ## lint mirrors the CI lint job exactly: pinned tool versions fetched on
 ## demand by `go run` (no separate install step, no version drift between
-## local runs and CI).
+## local runs and CI). staticcheck reads staticcheck.conf at the repo
+## root, which enables the non-default ST and QF groups; the pins were
+## last audited 2026-08 against that widened check set.
 STATICCHECK_VERSION ?= 2025.1.1
 GOVULNCHECK_VERSION ?= v1.1.4
 
@@ -87,6 +99,24 @@ loadtest-restart:
 	@dir=$$(mktemp -d); \
 	$(GO) run ./cmd/ckprivacy loadtest $(LOADTEST_RESTART_ARGS) -data-dir $$dir -restart; \
 	status=$$?; rm -rf $$dir; exit $$status
+
+## fuzz-smoke gives each store decoder fuzz target a short budget
+## (mirrors the CI fuzz job): long enough to catch a regression in the
+## snapshot/WAL hardening, short enough for every push. Raise
+## FUZZ_TIME for a real session.
+FUZZ_TIME ?= 20s
+
+fuzz-smoke:
+	$(GO) test ./internal/store/ -run '^$$' -fuzz FuzzSnapshotOpen -fuzztime $(FUZZ_TIME)
+	$(GO) test ./internal/store/ -run '^$$' -fuzz FuzzWALReplay -fuzztime $(FUZZ_TIME)
+
+## loadtest-race is the loadtest smoke under the race detector (mirrors
+## the CI race job): small enough to stay fast, concurrent enough to
+## give the detector real interleavings.
+LOADTEST_RACE_ARGS ?= -rows 20000 -ops 100 -clients 4 -shards 0
+
+loadtest-race:
+	$(GO) run -race ./cmd/ckprivacy loadtest $(LOADTEST_RACE_ARGS)
 
 bench:
 	$(GO) test -bench=. -benchmem -run='^$$' ./...

@@ -35,6 +35,8 @@ type scratch struct {
 var scratchPool = sync.Pool{New: func() any { return &scratch{} }}
 
 // getScratch returns a scratch with empty (but capacity-retaining) maps.
+//
+//ckvet:ignore poolleak ownership transfers to the caller: scanRange pairs every getScratch with a deferred scratchPool.Put
 func getScratch() *scratch {
 	sc := scratchPool.Get().(*scratch)
 	if sc.by64 == nil {

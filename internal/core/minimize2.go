@@ -77,6 +77,8 @@ func (sc *m2Scratch) release() { m2Pool.Put(sc) }
 // Against the paper's Algorithm 2 pseudocode, two typos are corrected (see
 // DESIGN.md §4): the base case returns 1 on success (not the initialized
 // rmin = ∞), and the initial "A already placed" flag is false.
+//
+//ckvet:ignore poolleak ownership transfers to the caller, which must release(); the scratch's choice tables drive witness reconstruction after return
 func (e *Engine) minimize2(views []bucketView, k int, opt Options) (float64, *m2Scratch) {
 	nb := len(views)
 	sc := m2Pool.Get().(*m2Scratch)

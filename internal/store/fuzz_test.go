@@ -1,0 +1,140 @@
+package store
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// These fuzz targets pin the recovery-path contract: whatever bytes are
+// on disk, the decoders never panic and never return anything but the
+// typed ErrCorrupt / ErrFormatVersion errors — and a WAL tail the
+// reader calls torn must truncate to a clean, replayable file. The
+// seeds reproduce the shapes the corruption tests already cover
+// (bit-flips, truncation, section reordering) plus the hostile metas
+// (negative and overflowing row counts) that a CRC cannot catch because
+// they are valid, correctly-checksummed payloads.
+
+// fuzzSnapshotSeeds builds the corpus: one valid snapshot and the
+// interesting corruptions of it.
+func fuzzSnapshotSeeds(f *testing.F) {
+	valid, err := encodeSnapshot(sampleSnapshot())
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2]) // truncated mid-section
+	f.Add(valid[:walHeaderLen]) // header only
+	f.Add([]byte("CKPS"))       // magic only
+	f.Add([]byte{})             // empty
+	flipped := bytes.Clone(valid)
+	flipped[len(flipped)/2] ^= 0x40 // CRC-caught bit flip
+	f.Add(flipped)
+	wrongVer := bytes.Clone(valid)
+	binary.LittleEndian.PutUint32(wrongVer[4:], FormatVersion+1)
+	f.Add(wrongVer)
+
+	// Hostile metas: well-framed, CRC-valid sections whose JSON claims
+	// impossible shapes. A negative row count must not reach make, and
+	// a huge one must not overflow the 4*Rows bounds check.
+	for _, meta := range []string{
+		`{"version":1,"rows":-1,"attrs":["A"],"source":null}`,
+		`{"version":1,"rows":4611686018427387904,"attrs":["A"],"source":null}`,
+		`{"version":1,"rows":2,"attrs":["A"],"source":null}`,
+	} {
+		hdr := append([]byte(snapMagic), 0, 0, 0, 0)
+		binary.LittleEndian.PutUint32(hdr[4:], FormatVersion)
+		var cols []byte
+		cols = binary.AppendUvarint(cols, 1) // one column
+		cols = binary.AppendUvarint(cols, 1) // one dict value
+		cols = appendString(cols, "v")
+		cols = binary.LittleEndian.AppendUint32(cols, 0) // one code
+		buf := appendSection(hdr, secMeta, []byte(meta))
+		f.Add(appendSection(bytes.Clone(buf), secColumns, cols))
+		// Columns before meta: the columns section is sized against
+		// Rows's zero value, and only the final cross-check can reject.
+		out := append([]byte(snapMagic), 0, 0, 0, 0)
+		binary.LittleEndian.PutUint32(out[4:], FormatVersion)
+		out = appendSection(out, secColumns, cols)
+		f.Add(appendSection(out, secMeta, []byte(meta)))
+	}
+}
+
+func FuzzSnapshotOpen(f *testing.F) {
+	fuzzSnapshotSeeds(f)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sd, err := decodeSnapshot(data)
+		if err != nil {
+			if !errors.Is(err, ErrCorrupt) && !errors.Is(err, ErrFormatVersion) {
+				t.Fatalf("decodeSnapshot returned untyped error %v", err)
+			}
+			return
+		}
+		// Anything the decoder accepts must satisfy the encoder's own
+		// consistency checks (column arity, row counts, codes within
+		// dictionaries): a snapshot that decodes must re-encode.
+		if _, err := encodeSnapshot(sd); err != nil {
+			t.Fatalf("decoded snapshot does not re-encode: %v", err)
+		}
+	})
+}
+
+// fuzzWALSeeds builds the WAL corpus: a valid two-record log and its
+// corruptions.
+func fuzzWALSeeds(f *testing.F) {
+	valid := walHeader(3)
+	valid = append(valid, encodeRecord(recAppend, encodeAppendRecord(&AppendRecord{
+		Version: 4,
+		Rows:    [][]string{{"13053", "M"}, {"14853", "F"}},
+	}))...)
+	rel := sampleSnapshot().Releases.Releases[0]
+	valid = append(valid, encodeRecord(recRelease, appendReleaseRecord(nil, &rel))...)
+	f.Add(valid)
+	f.Add(valid[:walHeaderLen])   // header, no records
+	f.Add(valid[:len(valid)-3])   // torn tail
+	f.Add(valid[:walHeaderLen+2]) // torn first record header
+	f.Add([]byte("CKPW"))         // short header
+	f.Add([]byte{})               // empty
+	flipped := bytes.Clone(valid)
+	flipped[len(flipped)-6] ^= 0x01 // CRC-caught flip in last record
+	f.Add(flipped)
+	unknown := walHeader(3)
+	f.Add(append(unknown, encodeRecord(9, []byte("??"))...))
+}
+
+func FuzzWALReplay(f *testing.F) {
+	fuzzWALSeeds(f)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dir := t.TempDir()
+		path := filepath.Join(dir, "fuzz.wal")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		base, recs, good, err := readWAL(path)
+		if err != nil {
+			if !errors.Is(err, ErrCorrupt) && !errors.Is(err, ErrFormatVersion) {
+				t.Fatalf("readWAL returned untyped error %v", err)
+			}
+			return
+		}
+		if good < walHeaderLen || good > int64(len(data)) {
+			t.Fatalf("good offset %d outside [header, len]=%d", good, len(data))
+		}
+		// Torn-tail contract: truncating to the good offset yields a
+		// clean log that replays to the same state.
+		if err := os.WriteFile(path, data[:good], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		base2, recs2, good2, err := readWAL(path)
+		if err != nil {
+			t.Fatalf("truncated-to-good WAL does not re-read: %v", err)
+		}
+		if base2 != base || len(recs2) != len(recs) || good2 != good {
+			t.Fatalf("truncated replay diverged: base %d→%d, records %d→%d, good %d→%d",
+				base, base2, len(recs), len(recs2), good, good2)
+		}
+	})
+}

@@ -279,6 +279,14 @@ func decodeSnapshot(data []byte) (*SnapshotData, error) {
 	if !seen[secMeta] || !seen[secColumns] {
 		return nil, corruptf("snapshot: missing meta or columns section")
 	}
+	// Sections decode in file order, so a columns section placed before
+	// the meta section is sized against Rows's zero value; cross-check
+	// the final shape against what meta claimed.
+	for c, col := range sd.Cols {
+		if len(col) != sd.Rows {
+			return nil, corruptf("snapshot: column %d has %d rows, meta says %d", c, len(col), sd.Rows)
+		}
+	}
 	return sd, nil
 }
 
@@ -317,7 +325,10 @@ func decodeSection(sd *SnapshotData, typ byte, payload []byte) error {
 				}
 			}
 			sd.Dicts[c] = dict
-			if r.remaining() < 4*sd.Rows {
+			// Rows comes from attacker-controllable meta JSON: a negative
+			// value must not reach make, and 4*Rows must not overflow int
+			// and slip past a plain remaining() comparison.
+			if sd.Rows < 0 || uint64(r.remaining())/4 < uint64(sd.Rows) {
 				return corruptf("column %d: %d bytes left for %d codes", c, r.remaining(), sd.Rows)
 			}
 			col := make([]uint32, sd.Rows)

@@ -1,0 +1,73 @@
+// Package analysis is ckvet's dependency-free analyzer framework: a
+// deliberately API-compatible subset of golang.org/x/tools/go/analysis,
+// implemented on the standard library only. The build environment pins
+// this module to zero external dependencies, so the real framework (and
+// its unitchecker, which would let ckvet run under `go vet -vettool`)
+// cannot be vendored; every type here mirrors its x/tools namesake
+// field-for-field, so swapping the import path is the whole migration
+// once x/tools is available.
+//
+// An Analyzer is one named, documented invariant check. A Pass hands it
+// one type-checked package; the analyzer reports Diagnostics through the
+// Pass and never mutates what it is given. The driver (the ckvet main
+// package) decides which analyzers see which packages and how
+// suppression comments are honored.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one invariant check: a stable name (used in
+// diagnostics and in //ckvet:ignore directives), user-facing
+// documentation, and the Run function that inspects one package.
+type Analyzer struct {
+	// Name identifies the analyzer in output and suppression comments.
+	// It must be a valid Go identifier.
+	Name string
+	// Doc documents the invariant the analyzer enforces. The first line
+	// is the summary shown by the driver's -list flag.
+	Doc string
+	// Run inspects one package and reports findings via pass.Report. The
+	// returned value is ignored by this driver (the x/tools framework
+	// threads it to dependent analyzers; ckvet's analyzers are
+	// independent).
+	Run func(*Pass) (any, error)
+}
+
+// Pass is the unit of work handed to an analyzer: one fully
+// type-checked, non-test package.
+type Pass struct {
+	// Analyzer is the check this pass runs.
+	Analyzer *Analyzer
+	// Fset maps token positions of Files to file/line/column.
+	Fset *token.FileSet
+	// Files holds the package's parsed source files, comments included.
+	Files []*ast.File
+	// Pkg is the type-checked package.
+	Pkg *types.Package
+	// TypesInfo holds the type-checker's expression types, object
+	// resolution and selections for Files.
+	TypesInfo *types.Info
+	// Report delivers one finding. The driver owns collection, ignore
+	// filtering and exit status.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a finding at pos with a formatted message.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Diagnostic is one finding: a position inside the pass's package and a
+// human-readable message. Messages state the violated invariant and the
+// fix, not just the pattern matched.
+type Diagnostic struct {
+	// Pos locates the offending syntax.
+	Pos token.Pos
+	// Message explains the finding.
+	Message string
+}

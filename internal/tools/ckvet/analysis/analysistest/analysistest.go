@@ -1,0 +1,129 @@
+// Package analysistest runs a ckvet analyzer over a testdata package
+// and checks its diagnostics against expectations written in the
+// source, mirroring golang.org/x/tools/go/analysis/analysistest:
+//
+//	for k := range m {
+//		keys = append(keys, k) // want `never sorted`
+//	}
+//
+// Each `// want` comment carries one or more backquoted or quoted
+// regexps; every regexp must match exactly one diagnostic reported on
+// that line, and every diagnostic must be claimed by a want. The
+// harness applies //ckvet:ignore suppression before matching — exactly
+// as the driver does — so testdata can assert both that a pattern fires
+// and that a justified directive silences it; malformed directives
+// surface as diagnostics too.
+package analysistest
+
+import (
+	"fmt"
+	"os/exec"
+	"regexp"
+	"strings"
+	"testing"
+
+	"ckprivacy/internal/tools/ckvet/analysis"
+)
+
+// wantRe pulls the quoted expectations out of a want comment.
+var wantRe = regexp.MustCompile("`([^`]*)`|\"([^\"]*)\"")
+
+// Run loads the package rooted at pkgDir (relative to the calling
+// test's directory), applies the analyzer plus suppression, and
+// reports any mismatch between diagnostics and want comments as test
+// errors.
+func Run(t *testing.T, pkgDir string, a *analysis.Analyzer) {
+	t.Helper()
+	modDir, err := moduleDir()
+	if err != nil {
+		t.Fatalf("locating module root: %v", err)
+	}
+	pkg, err := analysis.LoadDir(modDir, pkgDir)
+	if err != nil {
+		t.Fatalf("loading %s: %v", pkgDir, err)
+	}
+	known := map[string]bool{a.Name: true}
+	sup := analysis.NewSuppressor(pkg, known)
+	diags, err := analysis.RunAnalyzer(a, pkg)
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+	diags = sup.Filter(pkg.Fset, a.Name, diags)
+	diags = append(diags, sup.Malformed...)
+
+	// Index diagnostics by file:line.
+	type key struct {
+		file string
+		line int
+	}
+	got := map[key][]string{}
+	for _, d := range diags {
+		p := pkg.Fset.Position(d.Pos)
+		k := key{p.Filename, p.Line}
+		got[k] = append(got[k], d.Message)
+	}
+
+	// Walk every comment looking for wants.
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				idx := strings.Index(c.Text, "// want ")
+				if idx < 0 {
+					continue
+				}
+				p := pkg.Fset.Position(c.Pos())
+				k := key{p.Filename, p.Line}
+				for _, m := range wantRe.FindAllStringSubmatch(c.Text[idx+len("// want "):], -1) {
+					pat := m[1]
+					if pat == "" {
+						pat = m[2]
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Errorf("%s:%d: bad want pattern %q: %v", p.Filename, p.Line, pat, err)
+						continue
+					}
+					if !claim(got, k, re) {
+						t.Errorf("%s:%d: no diagnostic matching %q (have %v)", p.Filename, p.Line, pat, got[k])
+					}
+				}
+			}
+		}
+	}
+
+	// Anything left unclaimed is an unexpected diagnostic.
+	for k, msgs := range got {
+		for _, m := range msgs {
+			t.Errorf("%s:%d: unexpected diagnostic: %s", k.file, k.line, m)
+		}
+	}
+}
+
+// claim removes the first diagnostic at k matching re, reporting
+// whether one existed.
+func claim[K comparable](got map[K][]string, k K, re *regexp.Regexp) bool {
+	msgs := got[k]
+	for i, m := range msgs {
+		if re.MatchString(m) {
+			got[k] = append(msgs[:i], msgs[i+1:]...)
+			if len(got[k]) == 0 {
+				delete(got, k)
+			}
+			return true
+		}
+	}
+	return false
+}
+
+// moduleDir resolves the enclosing module's root directory.
+func moduleDir() (string, error) {
+	out, err := exec.Command("go", "env", "GOMOD").Output()
+	if err != nil {
+		return "", err
+	}
+	gomod := strings.TrimSpace(string(out))
+	if gomod == "" || gomod == "/dev/null" {
+		return "", fmt.Errorf("not inside a module")
+	}
+	return strings.TrimSuffix(gomod, "/go.mod"), nil
+}

@@ -1,0 +1,133 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Suppression: a source comment of the form
+//
+//	//ckvet:ignore <analyzer> <reason>
+//
+// silences that analyzer's findings in a bounded region. The reason is
+// mandatory — an unexplained suppression is itself a finding — and
+// should cite the test or argument that makes the invariant hold anyway
+// (e.g. the parity test covering a map-order-free key list). The region
+// is:
+//
+//   - the directive's own line and the line directly below it, when the
+//     directive is a trailing or line comment inside a function; or
+//   - the whole declaration, when the directive appears in the doc
+//     comment of a top-level func/var/const/type declaration.
+
+// ignoreDirective is one parsed //ckvet:ignore comment.
+type ignoreDirective struct {
+	analyzer string
+	reason   string
+	line     int
+	// declEnd is set when the directive sits in a top-level doc comment:
+	// it extends the suppressed region to the declaration's last line.
+	declEnd int
+}
+
+const ignorePrefix = "//ckvet:ignore"
+
+// parseIgnores extracts every directive from a file, returning also a
+// list of malformed ones (missing analyzer or reason), which the driver
+// reports as errors: a suppression that does not say what it suppresses
+// or why is a rot vector, not an escape hatch.
+func parseIgnores(fset *token.FileSet, file *ast.File, known map[string]bool) (dirs []ignoreDirective, malformed []Diagnostic) {
+	// Map each doc comment's directives to its declaration's extent.
+	docRange := map[*ast.CommentGroup]int{}
+	for _, decl := range file.Decls {
+		var doc *ast.CommentGroup
+		switch d := decl.(type) {
+		case *ast.FuncDecl:
+			doc = d.Doc
+		case *ast.GenDecl:
+			doc = d.Doc
+		}
+		if doc != nil {
+			docRange[doc] = fset.Position(decl.End()).Line
+		}
+	}
+	for _, cg := range file.Comments {
+		declEnd := docRange[cg]
+		for _, c := range cg.List {
+			if !strings.HasPrefix(c.Text, ignorePrefix) {
+				continue
+			}
+			rest := strings.TrimSpace(strings.TrimPrefix(c.Text, ignorePrefix))
+			name, reason, _ := strings.Cut(rest, " ")
+			reason = strings.TrimSpace(reason)
+			pos := fset.Position(c.Pos())
+			switch {
+			case name == "" || reason == "":
+				malformed = append(malformed, Diagnostic{Pos: c.Pos(), Message: fmt.Sprintf(
+					"malformed %s directive: want %q", ignorePrefix, ignorePrefix+" <analyzer> <reason>")})
+			case !known[name]:
+				malformed = append(malformed, Diagnostic{Pos: c.Pos(), Message: fmt.Sprintf(
+					"%s names unknown analyzer %q", ignorePrefix, name)})
+			default:
+				dirs = append(dirs, ignoreDirective{
+					analyzer: name, reason: reason, line: pos.Line, declEnd: declEnd,
+				})
+			}
+		}
+	}
+	return dirs, malformed
+}
+
+// Suppressor filters diagnostics for one package against its
+// //ckvet:ignore directives.
+type Suppressor struct {
+	// byFile maps file name to that file's directives.
+	byFile map[string][]ignoreDirective
+	// Malformed holds the package's broken directives; the driver
+	// reports them like findings.
+	Malformed []Diagnostic
+}
+
+// NewSuppressor parses every directive in the package. known names the
+// valid analyzer names for directive validation.
+func NewSuppressor(pkg *Package, known map[string]bool) *Suppressor {
+	s := &Suppressor{byFile: map[string][]ignoreDirective{}}
+	for _, f := range pkg.Files {
+		name := pkg.Fset.Position(f.Pos()).Filename
+		dirs, bad := parseIgnores(pkg.Fset, f, known)
+		s.byFile[name] = dirs
+		s.Malformed = append(s.Malformed, bad...)
+	}
+	return s
+}
+
+// Suppressed reports whether a diagnostic from the named analyzer at pos
+// is covered by a directive.
+func (s *Suppressor) Suppressed(fset *token.FileSet, analyzer string, pos token.Pos) bool {
+	p := fset.Position(pos)
+	for _, d := range s.byFile[p.Filename] {
+		if d.analyzer != analyzer {
+			continue
+		}
+		if p.Line == d.line || p.Line == d.line+1 {
+			return true
+		}
+		if d.declEnd > 0 && p.Line > d.line && p.Line <= d.declEnd {
+			return true
+		}
+	}
+	return false
+}
+
+// Filter returns diags minus the suppressed ones.
+func (s *Suppressor) Filter(fset *token.FileSet, analyzer string, diags []Diagnostic) []Diagnostic {
+	var out []Diagnostic
+	for _, d := range diags {
+		if !s.Suppressed(fset, analyzer, d.Pos) {
+			out = append(out, d)
+		}
+	}
+	return out
+}

@@ -1,0 +1,95 @@
+package analysis
+
+import (
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func TestParseIgnores(t *testing.T) {
+	src := `package p
+
+//ckvet:ignore maporder consumer sorts downstream
+var a = 1
+
+//ckvet:ignore maporder
+var b = 2
+
+//ckvet:ignore nosuchcheck reason here
+var c = 3
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "ignoretest.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	known := map[string]bool{"maporder": true}
+	dirs, malformed := parseIgnores(fset, f, known)
+	if len(dirs) != 1 {
+		t.Fatalf("got %d well-formed directives, want 1: %+v", len(dirs), dirs)
+	}
+	if dirs[0].analyzer != "maporder" || dirs[0].reason != "consumer sorts downstream" {
+		t.Errorf("directive parsed as %+v", dirs[0])
+	}
+	if len(malformed) != 2 {
+		t.Fatalf("got %d malformed directives, want 2: %+v", len(malformed), malformed)
+	}
+	if !strings.Contains(malformed[0].Message, "malformed") {
+		t.Errorf("missing-reason message = %q", malformed[0].Message)
+	}
+	if !strings.Contains(malformed[1].Message, "unknown analyzer") {
+		t.Errorf("unknown-analyzer message = %q", malformed[1].Message)
+	}
+}
+
+func TestSuppressorRanges(t *testing.T) {
+	src := `package p
+
+import "fmt"
+
+//ckvet:ignore maporder whole declaration is covered by a doc directive
+func docSuppressed() {
+	fmt.Println("line 7")
+	fmt.Println("line 8")
+}
+
+func lineSuppressed() {
+	//ckvet:ignore maporder only the next line is covered
+	fmt.Println("line 13")
+	fmt.Println("line 14")
+}
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "ignoretest.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &Suppressor{byFile: map[string][]ignoreDirective{}}
+	dirs, malformed := parseIgnores(fset, f, map[string]bool{"maporder": true})
+	if len(malformed) != 0 {
+		t.Fatalf("unexpected malformed directives: %+v", malformed)
+	}
+	s.byFile["ignoretest.go"] = dirs
+
+	// Positions inside the doc-suppressed declaration are covered.
+	line := func(n int) token.Pos {
+		return fset.File(f.Pos()).LineStart(n)
+	}
+	for _, n := range []int{7, 8} {
+		if !s.Suppressed(fset, "maporder", line(n)) {
+			t.Errorf("line %d: want suppressed by doc directive", n)
+		}
+	}
+	// The line directive covers its own line and the next, nothing more.
+	if !s.Suppressed(fset, "maporder", line(13)) {
+		t.Error("line 13: want suppressed by line directive")
+	}
+	if s.Suppressed(fset, "maporder", line(14)) {
+		t.Error("line 14: must NOT be suppressed")
+	}
+	// A different analyzer's findings are never covered.
+	if s.Suppressed(fset, "poolleak", line(7)) {
+		t.Error("other analyzer suppressed by a maporder directive")
+	}
+}

@@ -1,0 +1,248 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+)
+
+// This file is ckvet's package loader: a stdlib-only stand-in for
+// golang.org/x/tools/go/packages. Targets are resolved and their
+// dependencies compiled by shelling out to `go list -deps -export`,
+// which leaves export data for every dependency in the build cache;
+// each target package is then parsed from source and type-checked with
+// a go/importer gc importer whose lookup function serves those export
+// files. Dependencies are never re-type-checked from source, which
+// keeps a whole-module load in the low seconds.
+
+// Package is one loaded, type-checked target package.
+type Package struct {
+	// ImportPath is the package's import path as go list reports it.
+	ImportPath string
+	// Dir is the directory holding the package's sources.
+	Dir string
+	// Fset maps positions of Files.
+	Fset *token.FileSet
+	// Files holds the parsed non-test sources, comments included.
+	Files []*ast.File
+	// Types is the type-checked package.
+	Types *types.Package
+	// TypesInfo records the type-checker's results for Files.
+	TypesInfo *types.Info
+}
+
+// listedPkg is the subset of `go list -json` output the loader reads.
+type listedPkg struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	Standard   bool
+}
+
+// goList runs `go list` in dir with the given arguments and decodes the
+// JSON package stream.
+func goList(dir string, args ...string) ([]listedPkg, error) {
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go %v: %v\n%s", args, err, stderr.String())
+	}
+	var pkgs []listedPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listedPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("decoding go list output: %v", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+const listFields = "-json=ImportPath,Name,Dir,Export,GoFiles,Standard"
+
+// Load resolves patterns (e.g. "./...") relative to dir and returns
+// every matched package parsed and type-checked. Test files are
+// excluded by construction (GoFiles): ckvet enforces invariants on
+// production code.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	args := append([]string{"list", "-deps", "-export", listFields}, patterns...)
+	deps, err := goList(dir, args...)
+	if err != nil {
+		return nil, err
+	}
+	exports := exportMap(deps)
+	// -deps lists dependencies too; a second plain list names exactly the
+	// packages the patterns matched.
+	targets, err := goList(dir, append([]string{"list", listFields}, patterns...)...)
+	if err != nil {
+		return nil, err
+	}
+	var out []*Package
+	for _, t := range targets {
+		if len(t.GoFiles) == 0 {
+			continue
+		}
+		p, err := checkPackage(t, exports)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ImportPath < out[j].ImportPath })
+	return out, nil
+}
+
+// LoadDir parses every .go file in pkgDir (a directory outside the
+// module's package graph, e.g. an analyzer's testdata package) and
+// type-checks it against the real imports it names, resolved through
+// moduleDir's build context. The package's import path is its package
+// name — testdata packages are loaded standalone, so analyzers keyed on
+// package base names (snapshotmut) see the same names they see in the
+// real tree.
+func LoadDir(moduleDir, pkgDir string) (*Package, error) {
+	entries, err := os.ReadDir(pkgDir)
+	if err != nil {
+		return nil, err
+	}
+	var files []string
+	for _, e := range entries {
+		if !e.IsDir() && filepath.Ext(e.Name()) == ".go" {
+			files = append(files, e.Name())
+		}
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no .go files in %s", pkgDir)
+	}
+	sort.Strings(files)
+	fset := token.NewFileSet()
+	var asts []*ast.File
+	importSet := map[string]bool{}
+	for _, f := range files {
+		af, err := parser.ParseFile(fset, filepath.Join(pkgDir, f), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		asts = append(asts, af)
+		for _, imp := range af.Imports {
+			importSet[importPathOf(imp)] = true
+		}
+	}
+	exports := map[string]string{}
+	if len(importSet) > 0 {
+		paths := make([]string, 0, len(importSet))
+		for p := range importSet {
+			paths = append(paths, p)
+		}
+		sort.Strings(paths)
+		args := append([]string{"list", "-deps", "-export", listFields}, paths...)
+		deps, err := goList(moduleDir, args...)
+		if err != nil {
+			return nil, err
+		}
+		exports = exportMap(deps)
+	}
+	name := asts[0].Name.Name
+	pkg := listedPkg{ImportPath: name, Name: name, Dir: pkgDir, GoFiles: files}
+	return checkPackageFiles(pkg, fset, asts, exports)
+}
+
+// importPathOf unquotes an import spec's path.
+func importPathOf(imp *ast.ImportSpec) string {
+	p := imp.Path.Value
+	return p[1 : len(p)-1]
+}
+
+// exportMap indexes the listed packages' export data files by import
+// path.
+func exportMap(pkgs []listedPkg) map[string]string {
+	m := make(map[string]string, len(pkgs))
+	for _, p := range pkgs {
+		if p.Export != "" {
+			m[p.ImportPath] = p.Export
+		}
+	}
+	return m
+}
+
+// checkPackage parses one listed package's sources and type-checks them.
+func checkPackage(p listedPkg, exports map[string]string) (*Package, error) {
+	fset := token.NewFileSet()
+	var asts []*ast.File
+	for _, f := range p.GoFiles {
+		af, err := parser.ParseFile(fset, filepath.Join(p.Dir, f), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		asts = append(asts, af)
+	}
+	return checkPackageFiles(p, fset, asts, exports)
+}
+
+// checkPackageFiles runs the type checker over already-parsed files,
+// resolving imports through the export-data map.
+func checkPackageFiles(p listedPkg, fset *token.FileSet, asts []*ast.File, exports map[string]string) (*Package, error) {
+	lookup := func(path string) (io.ReadCloser, error) {
+		e, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q (dependency of %s)", path, p.ImportPath)
+		}
+		return os.Open(e)
+	}
+	conf := types.Config{Importer: importer.ForCompiler(fset, "gc", lookup)}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+	}
+	tpkg, err := conf.Check(p.ImportPath, fset, asts, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %v", p.ImportPath, err)
+	}
+	return &Package{
+		ImportPath: p.ImportPath,
+		Dir:        p.Dir,
+		Fset:       fset,
+		Files:      asts,
+		Types:      tpkg,
+		TypesInfo:  info,
+	}, nil
+}
+
+// RunAnalyzer applies one analyzer to one loaded package and returns its
+// raw (unfiltered) diagnostics.
+func RunAnalyzer(a *Analyzer, pkg *Package) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	pass := &Pass{
+		Analyzer:  a,
+		Fset:      pkg.Fset,
+		Files:     pkg.Files,
+		Pkg:       pkg.Types,
+		TypesInfo: pkg.TypesInfo,
+		Report:    func(d Diagnostic) { diags = append(diags, d) },
+	}
+	if _, err := a.Run(pass); err != nil {
+		return nil, fmt.Errorf("%s: %v", a.Name, err)
+	}
+	sort.Slice(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
+	return diags, nil
+}

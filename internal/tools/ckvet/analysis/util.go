@@ -1,0 +1,156 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Shared AST/type helpers for ckvet's analyzers. They answer the three
+// questions every checker asks: "is this call pkg.Fn?", "is this a
+// method call on type T?", and "do these two expressions name the same
+// thing?".
+
+// PkgFunc resolves a call to a package-level function and returns the
+// defining package's path and the function name ("", "" when the call
+// is anything else: a method, a builtin, a conversion, a local func).
+func PkgFunc(info *types.Info, call *ast.CallExpr) (pkgPath, name string) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	obj, ok := info.Uses[sel.Sel]
+	if !ok || obj.Pkg() == nil {
+		return "", ""
+	}
+	if _, isFunc := obj.(*types.Func); !isFunc {
+		return "", ""
+	}
+	// A method call has a selection recorded; a qualified package
+	// function does not.
+	if _, isMethod := info.Selections[sel]; isMethod {
+		return "", ""
+	}
+	return obj.Pkg().Path(), obj.Name()
+}
+
+// MethodCall resolves a call to a method invocation, returning the
+// receiver's type and the method name (nil, "" otherwise).
+func MethodCall(info *types.Info, call *ast.CallExpr) (recv types.Type, name string) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil, ""
+	}
+	s, ok := info.Selections[sel]
+	if !ok || s.Kind() != types.MethodVal {
+		return nil, ""
+	}
+	return s.Recv(), sel.Sel.Name
+}
+
+// NamedOf unwraps pointers and returns the named type beneath t, if any.
+func NamedOf(t types.Type) *types.Named {
+	for {
+		switch u := t.(type) {
+		case *types.Pointer:
+			t = u.Elem()
+		case *types.Named:
+			return u
+		case *types.Alias:
+			t = types.Unalias(t)
+		default:
+			return nil
+		}
+	}
+}
+
+// TypeIs reports whether t (pointers unwrapped) is the named type
+// pkgPath.name.
+func TypeIs(t types.Type, pkgPath, name string) bool {
+	n := NamedOf(t)
+	if n == nil || n.Obj().Pkg() == nil {
+		return false
+	}
+	return n.Obj().Pkg().Path() == pkgPath && n.Obj().Name() == name
+}
+
+// ExprKey renders an expression to a canonical comparison key: the
+// types.Object pointer for a plain identifier (robust against shadowing)
+// and the printed source otherwise.
+func ExprKey(fset *token.FileSet, info *types.Info, e ast.Expr) any {
+	if id, ok := e.(*ast.Ident); ok {
+		if obj := info.ObjectOf(id); obj != nil {
+			return obj
+		}
+	}
+	var sb strings.Builder
+	_ = printer.Fprint(&sb, fset, e)
+	return sb.String()
+}
+
+// EnclosingFuncs calls fn for every top-level function declaration with
+// a body. Nested function literals are part of their declaration's body;
+// analyzers that must treat each literal as its own scope use
+// InspectNoNestedFuncs to walk one body at a time.
+func EnclosingFuncs(file *ast.File, fn func(name string, body *ast.BlockStmt)) {
+	for _, decl := range file.Decls {
+		d, ok := decl.(*ast.FuncDecl)
+		if !ok || d.Body == nil {
+			continue
+		}
+		fn(d.Name.Name, d.Body)
+	}
+}
+
+// FuncBodies calls fn for every function body in the file — top-level
+// declarations and every nested function literal — so each body can be
+// analyzed as its own scope. name is "" for literals.
+func FuncBodies(file *ast.File, fn func(name string, body *ast.BlockStmt)) {
+	for _, decl := range file.Decls {
+		d, ok := decl.(*ast.FuncDecl)
+		if !ok || d.Body == nil {
+			continue
+		}
+		fn(d.Name.Name, d.Body)
+		ast.Inspect(d.Body, func(n ast.Node) bool {
+			if lit, ok := n.(*ast.FuncLit); ok {
+				fn("", lit.Body)
+			}
+			return true
+		})
+	}
+}
+
+// InspectNoNestedFuncs walks body like ast.Inspect but does not descend
+// into nested function literals, so statement-ordering analyses stay
+// within one scope.
+func InspectNoNestedFuncs(body *ast.BlockStmt, fn func(ast.Node) bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		return fn(n)
+	})
+}
+
+// IsMapType reports whether the expression's type is a map.
+func IsMapType(info *types.Info, e ast.Expr) bool {
+	t := info.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+// IsSliceType reports whether the expression's type is a slice.
+func IsSliceType(info *types.Info, e ast.Expr) bool {
+	t := info.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Slice)
+	return ok
+}

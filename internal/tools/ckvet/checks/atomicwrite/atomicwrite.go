@@ -1,0 +1,63 @@
+// Package atomicwrite guards the durability layer's crash-safety
+// contract: every whole-file replacement in internal/store goes through
+// writeSnapshotFile, the one helper that performs the full
+// tmp + fsync + rename + parent-dir-sync dance. A bare os.Create or
+// os.WriteFile leaves a window where a crash publishes a torn file
+// under the final name, and a bare os.Rename publishes bytes that may
+// still be in the page cache — both defeat the CKPS recovery invariant
+// ("a snapshot that exists is a snapshot that decodes").
+//
+// Findings: any call to os.Create, os.WriteFile or os.Rename outside
+// the writeSnapshotFile helper. os.OpenFile is deliberately not in the
+// set — the WAL opens files for append with its own explicit fsync
+// schedule, and the tmp file inside writeSnapshotFile is created with
+// it; neither is a whole-file replacement.
+package atomicwrite
+
+import (
+	"go/ast"
+
+	"ckprivacy/internal/tools/ckvet/analysis"
+)
+
+// Analyzer is the atomicwrite check.
+var Analyzer = &analysis.Analyzer{
+	Name: "atomicwrite",
+	Doc:  "whole-file writes in the store must go through the tmp+fsync+rename helper",
+	Run:  run,
+}
+
+// atomicHelper is the one function allowed to call the raw os file
+// operations: it implements the atomic-replace protocol.
+const atomicHelper = "writeSnapshotFile"
+
+// flagged names the os functions that replace or publish whole files.
+var flagged = map[string]bool{
+	"Create":    true,
+	"WriteFile": true,
+	"Rename":    true,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, file := range pass.Files {
+		analysis.EnclosingFuncs(file, func(name string, body *ast.BlockStmt) {
+			if name == atomicHelper {
+				return
+			}
+			ast.Inspect(body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				pkg, fn := analysis.PkgFunc(pass.TypesInfo, call)
+				if pkg == "os" && flagged[fn] {
+					pass.Reportf(call.Pos(),
+						"os.%s bypasses the atomic write protocol; route the write through %s (tmp+fsync+rename+dir sync)",
+						fn, atomicHelper)
+				}
+				return true
+			})
+		})
+	}
+	return nil, nil
+}

@@ -1,0 +1,11 @@
+package atomicwrite
+
+import (
+	"testing"
+
+	"ckprivacy/internal/tools/ckvet/analysis/analysistest"
+)
+
+func TestAtomicwrite(t *testing.T) {
+	analysistest.Run(t, "testdata/src/atomicwrite", Analyzer)
+}

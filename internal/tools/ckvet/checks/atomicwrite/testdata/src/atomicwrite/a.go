@@ -1,0 +1,63 @@
+// Package atomicwrite is analyzer testdata: file publication in and out
+// of the atomic-replace protocol.
+package atomicwrite
+
+import (
+	"os"
+	"path/filepath"
+)
+
+// writeSnapshotFile stands in for the real helper; the raw calls inside
+// it are the protocol implementation and exempt.
+func writeSnapshotFile(path string, data []byte) error {
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// badWriteFile publishes a whole file with no fsync or rename.
+func badWriteFile(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o644) // want `os.WriteFile bypasses the atomic write protocol`
+}
+
+// badCreate truncates the final name in place: a crash mid-write leaves
+// a torn file published.
+func badCreate(path string) (*os.File, error) {
+	return os.Create(path) // want `os.Create bypasses the atomic write protocol`
+}
+
+// badRename publishes bytes that may still be in the page cache.
+func badRename(old, path string) error {
+	return os.Rename(old, path) // want `os.Rename bypasses the atomic write protocol`
+}
+
+// goodAppendOpen opens for append with an explicit fsync schedule (the
+// WAL shape); os.OpenFile is not a whole-file replacement.
+func goodAppendOpen(dir string) (*os.File, error) {
+	return os.OpenFile(filepath.Join(dir, "wal"), os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
+}
+
+// goodViaHelper routes the replacement through the protocol.
+func goodViaHelper(path string, data []byte) error {
+	return writeSnapshotFile(path, data)
+}
+
+// suppressedScratch writes a throwaway file whose loss is harmless.
+func suppressedScratch(dir string, data []byte) error {
+	//ckvet:ignore atomicwrite debug dump, not part of the recovery surface
+	return os.WriteFile(filepath.Join(dir, "debug.out"), data, 0o644)
+}

@@ -1,0 +1,138 @@
+// Package errenvelope enforces the v1 API's single error shape: every
+// error response leaving internal/server is the typed JSON envelope
+// {error, code, detail}, produced by the package's writeError helper
+// (and its sibling writeJSON). Clients key on that contract — the CLI,
+// the loadtest harness and the sequential-release audit all parse the
+// envelope — so one handler calling http.Error on a stray edge path
+// ships a text/plain body that breaks them only under that edge.
+//
+// Findings, anywhere in internal/server outside the envelope helpers
+// themselves:
+//
+//   - a call to http.Error;
+//   - fmt.Fprint* whose destination is an http.ResponseWriter (writing a
+//     body by hand);
+//   - WriteHeader with a constant status >= 400 (an error status whose
+//     body is then hand-rolled or absent).
+//
+// WriteHeader with a non-constant status is not flagged: response
+// recorders and middleware forward statuses they did not choose.
+// Non-envelope endpoints with their own wire contract (Prometheus text
+// exposition) carry a //ckvet:ignore errenvelope directive naming that
+// contract.
+package errenvelope
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+
+	"ckprivacy/internal/tools/ckvet/analysis"
+)
+
+// Analyzer is the errenvelope check.
+var Analyzer = &analysis.Analyzer{
+	Name: "errenvelope",
+	Doc:  "error responses must use the typed {error, code, detail} envelope helper",
+	Run:  run,
+}
+
+// envelopeHelpers names the functions allowed to touch the response
+// writer directly: they ARE the envelope implementation.
+var envelopeHelpers = map[string]bool{
+	"writeError": true,
+	"writeJSON":  true,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	rw := responseWriterIface(pass.Pkg)
+	if rw == nil {
+		// The package never imports net/http; nothing here can write a
+		// response.
+		return nil, nil
+	}
+	for _, file := range pass.Files {
+		analysis.EnclosingFuncs(file, func(name string, body *ast.BlockStmt) {
+			if envelopeHelpers[name] {
+				return
+			}
+			checkBody(pass, rw, body)
+		})
+	}
+	return nil, nil
+}
+
+// responseWriterIface digs http.ResponseWriter's interface type out of
+// the package's import graph.
+func responseWriterIface(pkg *types.Package) *types.Interface {
+	for _, imp := range pkg.Imports() {
+		if imp.Path() != "net/http" {
+			continue
+		}
+		obj := imp.Scope().Lookup("ResponseWriter")
+		if obj == nil {
+			return nil
+		}
+		iface, _ := obj.Type().Underlying().(*types.Interface)
+		return iface
+	}
+	return nil
+}
+
+func checkBody(pass *analysis.Pass, rw *types.Interface, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if pkg, name := analysis.PkgFunc(pass.TypesInfo, call); pkg != "" {
+			switch {
+			case pkg == "net/http" && name == "Error":
+				pass.Reportf(call.Pos(),
+					"http.Error writes a text/plain error body; use writeError for the {error, code, detail} envelope")
+			case pkg == "fmt" && strings.HasPrefix(name, "Fprint") &&
+				len(call.Args) > 0 && isResponseWriter(pass, rw, call.Args[0]):
+				pass.Reportf(call.Pos(),
+					"fmt.%s writes a response body by hand; use writeJSON/writeError for the typed envelope", name)
+			}
+			return true
+		}
+		recv, name := analysis.MethodCall(pass.TypesInfo, call)
+		if recv == nil || name != "WriteHeader" || !implementsOrIs(recv, rw) {
+			return true
+		}
+		if len(call.Args) != 1 {
+			return true
+		}
+		if code, ok := constInt(pass, call.Args[0]); ok && code >= 400 {
+			pass.Reportf(call.Pos(),
+				"WriteHeader(%d) sends an error status without the envelope body; use writeError", code)
+		}
+		return true
+	})
+}
+
+// isResponseWriter reports whether the expression's static type is (or
+// implements) http.ResponseWriter.
+func isResponseWriter(pass *analysis.Pass, rw *types.Interface, e ast.Expr) bool {
+	t := pass.TypesInfo.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	return implementsOrIs(t, rw)
+}
+
+func implementsOrIs(t types.Type, rw *types.Interface) bool {
+	return types.Implements(t, rw) || types.Implements(types.NewPointer(t), rw)
+}
+
+// constInt extracts an expression's constant integer value, if it has
+// one.
+func constInt(pass *analysis.Pass, e ast.Expr) (int64, bool) {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.Int {
+		return 0, false
+	}
+	return constant.Int64Val(tv.Value)
+}

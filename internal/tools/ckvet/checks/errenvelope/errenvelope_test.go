@@ -1,0 +1,11 @@
+package errenvelope
+
+import (
+	"testing"
+
+	"ckprivacy/internal/tools/ckvet/analysis/analysistest"
+)
+
+func TestErrenvelope(t *testing.T) {
+	analysistest.Run(t, "testdata/src/errenvelope", Analyzer)
+}

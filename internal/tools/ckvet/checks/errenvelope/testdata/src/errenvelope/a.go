@@ -1,0 +1,62 @@
+// Package errenvelope is analyzer testdata: handlers writing error
+// responses in and out of the envelope contract.
+package errenvelope
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+)
+
+// errorBody mirrors the real server's envelope.
+type errorBody struct {
+	Error  string `json:"error"`
+	Code   string `json:"code"`
+	Detail string `json:"detail,omitempty"`
+}
+
+// writeError is the envelope helper; its own raw writes are exempt.
+func writeError(w http.ResponseWriter, status int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(errorBody{Error: err.Error(), Code: "internal"})
+}
+
+// badHTTPError bypasses the envelope with a text/plain body.
+func badHTTPError(w http.ResponseWriter, err error) {
+	http.Error(w, err.Error(), http.StatusBadRequest) // want `http.Error writes a text/plain error body`
+}
+
+// badFprint hand-writes a response body.
+func badFprint(w http.ResponseWriter, err error) {
+	fmt.Fprintf(w, "error: %v", err) // want `fmt.Fprintf writes a response body by hand`
+}
+
+// badWriteHeader sends an error status with no envelope body.
+func badWriteHeader(w http.ResponseWriter) {
+	w.WriteHeader(http.StatusInternalServerError) // want `WriteHeader\(500\) sends an error status without the envelope body`
+}
+
+// goodEnvelope routes through the helper.
+func goodEnvelope(w http.ResponseWriter, err error) {
+	writeError(w, http.StatusBadRequest, err)
+}
+
+// goodForwardedStatus forwards a status it did not choose (response
+// recorder / middleware shape); non-constant statuses are not flagged.
+func goodForwardedStatus(w http.ResponseWriter, code int) {
+	w.WriteHeader(code)
+}
+
+// goodOKHeader sends a success status, which needs no envelope.
+func goodOKHeader(w http.ResponseWriter) {
+	w.WriteHeader(http.StatusOK)
+}
+
+// suppressedExposition is a non-envelope endpoint with its own wire
+// contract, carrying the justification in its doc comment.
+//
+//ckvet:ignore errenvelope Prometheus text exposition format; contract tested elsewhere
+func suppressedExposition(w http.ResponseWriter, hits int) {
+	fmt.Fprintf(w, "hits_total %d\n", hits)
+}

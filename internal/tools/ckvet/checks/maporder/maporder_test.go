@@ -1,0 +1,11 @@
+package maporder
+
+import (
+	"testing"
+
+	"ckprivacy/internal/tools/ckvet/analysis/analysistest"
+)
+
+func TestMaporder(t *testing.T) {
+	analysistest.Run(t, "testdata/src/maporder", Analyzer)
+}

@@ -1,0 +1,77 @@
+// Package maporder is analyzer testdata: each case is one function.
+package maporder
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+)
+
+// badKeyList leaks map order into a returned key list.
+func badKeyList(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want `slice keys collects map iteration results but is never sorted`
+	}
+	return keys
+}
+
+// goodKeyList restores order with sort.Strings.
+func goodKeyList(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// goodSortSlice restores order with sort.Slice.
+func goodSortSlice(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+// goodLoopLocal appends to a slice scoped inside the loop; map order
+// cannot leak out through it.
+func goodLoopLocal(m map[string][]int) int {
+	total := 0
+	for _, vs := range m {
+		var doubled []int
+		for _, v := range vs {
+			doubled = append(doubled, 2*v)
+		}
+		total += len(doubled)
+	}
+	return total
+}
+
+// badSerialize writes bytes in iteration order; no later sort can fix
+// serialized output.
+func badSerialize(m map[string]int, buf *bytes.Buffer) {
+	for k, v := range m {
+		fmt.Fprintf(buf, "%s=%d\n", k, v) // want `fmt.Fprintf inside map iteration serializes in nondeterministic order`
+	}
+}
+
+// badWriterMethod hits the Write-method sink.
+func badWriterMethod(m map[string]int, buf *bytes.Buffer) {
+	for k := range m {
+		buf.WriteString(k) // want `bytes.Buffer.WriteString inside map iteration serializes in nondeterministic order`
+	}
+}
+
+// suppressedKeyList shows a justified escape hatch: order is re-imposed
+// by the (hypothetical) consumer.
+func suppressedKeyList(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		//ckvet:ignore maporder consumer sorts; covered by the order-free parity test
+		keys = append(keys, k)
+	}
+	return keys
+}

@@ -1,0 +1,11 @@
+package poolleak
+
+import (
+	"testing"
+
+	"ckprivacy/internal/tools/ckvet/analysis/analysistest"
+)
+
+func TestPoolleak(t *testing.T) {
+	analysistest.Run(t, "testdata/src/poolleak", Analyzer)
+}

@@ -1,0 +1,13 @@
+package snapshotmut
+
+import (
+	"testing"
+
+	"ckprivacy/internal/tools/ckvet/analysis/analysistest"
+)
+
+func TestSnapshotmut(t *testing.T) {
+	// The testdata package is named "bucket" so the analyzer's
+	// bucket.Bucket pin — keyed on package name — applies to it.
+	analysistest.Run(t, "testdata/src/bucket", Analyzer)
+}

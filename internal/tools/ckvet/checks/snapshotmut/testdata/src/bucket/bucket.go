@@ -1,0 +1,27 @@
+// Package bucket is snapshotmut testdata; it is named after the real
+// package so the analyzer's "bucket.Bucket" pin applies. This file is
+// the type's owning constructor file: every write here is allowed.
+package bucket
+
+// Bucket mirrors the real pinned type: immutable once finalized.
+type Bucket struct {
+	Key    string
+	Tuples []int
+	hist   []int
+}
+
+// NewBucket builds and may freely mutate the value under construction.
+func NewBucket(key string, n int) *Bucket {
+	b := &Bucket{Key: key}
+	b.hist = make([]int, n)
+	for i := 0; i < n; i++ {
+		b.Tuples = append(b.Tuples, i)
+		b.hist[i] = i
+	}
+	return b
+}
+
+// Finalize is a constructor-file mutation: still allowed.
+func (b *Bucket) Finalize() {
+	b.Key = b.Key + "/final"
+}

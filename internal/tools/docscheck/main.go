@@ -27,6 +27,14 @@ func main() {
 	problems = append(problems, checkDocComments("internal/server", "server")...)
 	problems = append(problems, checkDocComments("internal/store", "store")...)
 	problems = append(problems, checkDocComments("docs", "docs")...)
+	// The ckvet suite documents the invariants it enforces; a bare
+	// exported name there would leave an analyzer without its contract.
+	problems = append(problems, checkDocComments("internal/tools/ckvet", "main")...)
+	problems = append(problems, checkDocComments("internal/tools/ckvet/analysis", "analysis")...)
+	problems = append(problems, checkDocComments("internal/tools/ckvet/analysis/analysistest", "analysistest")...)
+	for _, check := range []string{"maporder", "errenvelope", "atomicwrite", "snapshotmut", "poolleak"} {
+		problems = append(problems, checkDocComments("internal/tools/ckvet/checks/"+check, check)...)
+	}
 	if len(problems) > 0 {
 		for _, p := range problems {
 			fmt.Fprintln(os.Stderr, p)
