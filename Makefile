@@ -135,7 +135,7 @@ bench-json:
 ## fetched on demand via `go run` like the lint tools; x/perf publishes no
 ## semver tags, so the version floats unless BENCHSTAT_VERSION is pinned
 ## to a pseudo-version.
-BENCH_PATTERN ?= BenchmarkBucketize|BenchmarkEncodeTable|BenchmarkLatticeSweepPath|BenchmarkAppendSmall
+BENCH_PATTERN ?= BenchmarkBucketize|BenchmarkEncodeTable|BenchmarkLatticeSweep|BenchmarkGridPlanned|BenchmarkAppendSmall
 BENCHSTAT_VERSION ?= latest
 BENCH_COUNT ?= 6
 

@@ -93,6 +93,69 @@ func BenchmarkLatticeSweepPath(b *testing.B) {
 	b.Run("encoded", func(b *testing.B) { run(b) })
 }
 
+// BenchmarkLatticeSweepPlanned materializes the same 72 Adult lattice
+// nodes as BenchmarkLatticeSweepPath, but as one planned sweep: the whole
+// node set is scheduled as a derivation DAG up front (one base scan at
+// the root, everything else coarsened from its cheapest parent through
+// pooled arenas) instead of each node greedily picking a source at its
+// own cache miss. Reports rows/s plus the arena pool's reuse ratio.
+func BenchmarkLatticeSweepPlanned(b *testing.B) {
+	tab := mustAdult(b, ckprivacy.AdultDefaultN)
+	gets0, reuses0 := ckprivacy.ArenaStats()
+	nodes := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p, err := ckprivacy.NewProblem(tab, ckprivacy.AdultHierarchies(), ckprivacy.AdultQI())
+		if err != nil {
+			b.Fatal(err)
+		}
+		snap := p.Snapshot()
+		if err := snap.MaterializeNodes(p.Space().All()); err != nil {
+			b.Fatal(err)
+		}
+		nodes = p.Space().Size()
+		for _, n := range p.Space().All() {
+			bz, err := snap.Bucketize(n)
+			if err != nil {
+				b.Fatal(err)
+			}
+			sinkI = len(bz.Buckets)
+		}
+	}
+	b.StopTimer()
+	gets1, reuses1 := ckprivacy.ArenaStats()
+	if gets := gets1 - gets0; gets > 0 {
+		b.ReportMetric(float64(reuses1-reuses0)/float64(gets), "arena-reuse")
+	}
+	reportRowsPerSec(b, float64(tab.Len())*float64(nodes))
+}
+
+// BenchmarkGridPlanned is the (c,k) policy grid with and without the
+// sweep planner: planned pre-materializes the canonical chain as one DAG
+// (a single base scan plus one coarsening per link) before any cell
+// searches; pernode lets every cell's binary search materialize its own
+// probes through the greedy per-miss path.
+func BenchmarkGridPlanned(b *testing.B) {
+	tab := mustAdult(b, 4000)
+	run := func(b *testing.B, noPlanned bool) {
+		cfg := ckprivacy.GridConfig{
+			Cs: []float64{0.6, 0.8}, Ks: []int{1, 3, 5},
+			Workers: 1, NoPlannedSweeps: noPlanned,
+		}
+		cells := len(cfg.Cs) * len(cfg.Ks)
+		for i := 0; i < b.N; i++ {
+			res, err := ckprivacy.RunSafetyGrid(tab, cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			sinkI = len(res.Cells)
+		}
+		reportRowsPerSec(b, float64(tab.Len())*float64(cells))
+	}
+	b.Run("pernode", func(b *testing.B) { run(b, true) })
+	b.Run("planned", func(b *testing.B) { run(b, false) })
+}
+
 // reportRowsPerSec attaches the rows/s custom metric (rows of work per
 // wall second across all iterations).
 func reportRowsPerSec(b *testing.B, rowsPerOp float64) {

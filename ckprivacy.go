@@ -389,6 +389,17 @@ type ProblemSnapshot = anonymize.Snapshot
 // codes, and how many warm cache entries were patched vs invalidated.
 type ProblemAppendResult = anonymize.AppendResult
 
+// SweepStats snapshots a Problem's cumulative sweep-planner counters:
+// planned sweeps and DAG nodes, how each node was materialized (base
+// scan, coarsened, reused), and the cost model's predicted vs actual
+// bucket counts. Obtain one with Problem.SweepStats.
+type SweepStats = anonymize.SweepStats
+
+// ArenaStats reports the process-wide coarsening-arena pool counters:
+// how many scratch arenas were borrowed in total and how many of those
+// borrows were served by reuse rather than a fresh allocation.
+func ArenaStats() (gets, reuses uint64) { return bucket.ArenaStats() }
+
 // Utility metrics.
 type (
 	// Metric scores bucketizations (higher is better).

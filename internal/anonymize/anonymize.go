@@ -75,6 +75,10 @@ type Problem struct {
 	master   *table.Encoded
 	appendMu sync.Mutex
 	cur      atomic.Pointer[state]
+
+	// sweepCtr accumulates the sweep planner's lifetime counters across
+	// versions; SweepStats snapshots them.
+	sweepCtr sweepCounters
 }
 
 // Options configures a Problem at construction. The zero value resolves
@@ -112,6 +116,16 @@ type Options struct {
 	// Engine injects a fully configured (or shared) disclosure engine as
 	// the problem-scoped engine, overriding MemoMaxBytes.
 	Engine *core.Engine
+
+	// NoPlannedSweeps disables the sweep planner: lattice searches and
+	// MaterializeNodes evaluate node-by-node through the per-miss greedy
+	// coarsening path instead of planning each frontier's derivation DAG
+	// up front. The planned path is byte-identical (same nodes, stats and
+	// bucketizations); this switch exists for parity tests and benchmarks
+	// against the per-node path. The zero value — planner on — is the
+	// default. Implied by LegacyBucketize (the planner needs the encoded
+	// substrate).
+	NoPlannedSweeps bool
 
 	// LegacyBucketize disables the columnar encoded path: every
 	// bucketization runs the row-by-row string scan (and ShardWorkers is
@@ -446,6 +460,28 @@ func (s *Snapshot) Bucketize(node lattice.Node) (*bucket.Bucketization, error) {
 // attributes are fully suppressed. Incognito's subset lattices are checked
 // through this path.
 func (s *Snapshot) BucketizeSubset(subset []int, node lattice.Node) (*bucket.Bucketization, error) {
+	levels, err := s.subsetLevels(subset, node)
+	if err != nil {
+		return nil, err
+	}
+	key := cacheKey(subset, node)
+	if bz, ok := s.st.cache.get(key); ok {
+		return bz, nil
+	}
+	bz, err := s.materialize(levels)
+	if err != nil {
+		return nil, err
+	}
+	s.st.cache.put(key, bz, levels)
+	return bz, nil
+}
+
+// subsetLevels expands a (subset, node) pair into the complete level
+// assignment it induces: subset dimensions at the node's levels, every
+// other QI — listed or schema-implied — at top-level suppression. Both
+// the per-node path and the sweep planner build their requests through
+// this, so they agree on what a cache key means.
+func (s *Snapshot) subsetLevels(subset []int, node lattice.Node) (bucket.Levels, error) {
 	p := s.p
 	if len(subset) != len(node) {
 		return nil, fmt.Errorf("anonymize: subset/node length mismatch: %d vs %d", len(subset), len(node))
@@ -479,17 +515,7 @@ func (s *Snapshot) BucketizeSubset(subset []int, node lattice.Node) (*bucket.Buc
 		}
 		levels[p.QI[d]] = node[i]
 	}
-
-	key := cacheKey(subset, node)
-	if bz, ok := s.st.cache.get(key); ok {
-		return bz, nil
-	}
-	bz, err := s.materialize(levels)
-	if err != nil {
-		return nil, err
-	}
-	s.st.cache.put(key, bz, levels)
-	return bz, nil
+	return levels, nil
 }
 
 // materialize builds the bucketization for a complete level assignment
@@ -562,6 +588,9 @@ func (s *Snapshot) Pred(crit privacy.Criterion) lattice.Pred {
 // concurrent calls when the budget exceeds 1 (all criteria in
 // internal/privacy are).
 func (s *Snapshot) MinimalSafe(crit privacy.Criterion) ([]lattice.Node, lattice.Stats, error) {
+	if s.planned() {
+		return lattice.MinimalSatisfyingBatch(s.p.space, s.Pred(crit), s.nodePrefetch(), s.p.opts.Workers)
+	}
 	if s.p.opts.Workers == 1 {
 		return lattice.MinimalSatisfying(s.p.space, s.Pred(crit))
 	}
@@ -578,6 +607,9 @@ func (s *Snapshot) MinimalSafeIncognito(crit privacy.Criterion) ([]lattice.Node,
 			return false, err
 		}
 		return crit.Satisfied(bz)
+	}
+	if s.planned() {
+		return lattice.IncognitoBatch(s.p.space, check, s.subsetPrefetch(), s.p.opts.Workers)
 	}
 	if s.p.opts.Workers == 1 {
 		return lattice.Incognito(s.p.space, check)
@@ -597,9 +629,12 @@ func (s *Snapshot) ChainSearch(crit privacy.Criterion) (lattice.Node, bool, latt
 		stats lattice.Stats
 		err   error
 	)
-	if s.p.opts.Workers == 1 {
+	switch {
+	case s.planned():
+		idx, stats, err = lattice.BinarySearchChainBatch(chain, s.Pred(crit), s.nodePrefetch(), s.p.opts.Workers)
+	case s.p.opts.Workers == 1:
 		idx, stats, err = lattice.BinarySearchChain(chain, s.Pred(crit))
-	} else {
+	default:
 		idx, stats, err = lattice.BinarySearchChainParallel(chain, s.Pred(crit), s.p.opts.Workers)
 	}
 	if err != nil {
@@ -617,6 +652,14 @@ func (s *Snapshot) ChainSearch(crit privacy.Criterion) (lattice.Node, bool, latt
 func (s *Snapshot) BestByUtility(nodes []lattice.Node, m utility.Metric) (int, *bucket.Bucketization, error) {
 	if len(nodes) == 0 {
 		return -1, nil, fmt.Errorf("anonymize: no candidate nodes")
+	}
+	if s.planned() {
+		// The candidates are one frontier: materialize them as a planned
+		// batch before ranking (usually they are cached from the search
+		// that produced them, in which case this is a no-op).
+		if err := s.nodePrefetch()(nodes); err != nil {
+			return -1, nil, err
+		}
 	}
 	bzs := make([]*bucket.Bucketization, len(nodes))
 	err := parallel.ForEach(s.p.opts.Workers, len(nodes), func(i int) error {

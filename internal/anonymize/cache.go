@@ -80,6 +80,22 @@ func (c *bucketizeCache) get(key string) (*bucket.Bucketization, bool) {
 	return e.bz, ok
 }
 
+// peek is get without touching the hit/miss counters: the sweep planner
+// probes the cache while deciding what to materialize, and a probe is
+// neither a serving-path hit nor a materialization.
+func (c *bucketizeCache) peek(key string) (*bucket.Bucketization, bool) {
+	s := c.shard(key)
+	s.mu.RLock()
+	e, ok := s.m[key]
+	s.mu.RUnlock()
+	return e.bz, ok
+}
+
+// countMiss attributes one materialization to the miss counter. The sweep
+// executor calls it per node it actually builds, so a planned sweep and a
+// per-node sweep report the same number of misses (= materializations).
+func (c *bucketizeCache) countMiss() { c.misses.Add(1) }
+
 func (c *bucketizeCache) put(key string, bz *bucket.Bucketization, levels bucket.Levels) {
 	s := c.shard(key)
 	s.mu.Lock()

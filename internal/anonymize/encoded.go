@@ -21,9 +21,19 @@ import (
 // distinct level vectors, i.e. the lattice size; the bucketizations
 // themselves are already retained by the problem's bucketize cache, so
 // entries add only a vector and a pointer.
+//
+// Entries are bucketed by level sum (lattice height): a source can only
+// be finer than a target of height h if its own height is ≤ h — in fact
+// strictly <, except for the target's own vector — so a lookup compares
+// component-wise only against the plausible height buckets instead of
+// every recorded vector. Ties on bucket count break lexicographically on
+// the level vector, so which source serves a derivation never depends on
+// cache-fill order — repeated runs coarsen from the same source and
+// produce identical bucket storage, not merely equal values.
 type coarsenIndex struct {
-	mu      sync.Mutex
-	entries []coarsenEntry
+	mu       sync.Mutex
+	byHeight map[int][]coarsenEntry
+	count    int
 }
 
 type coarsenEntry struct {
@@ -41,18 +51,50 @@ func leqVec(a, b []int) bool {
 	return true
 }
 
+// lessVec reports a < b lexicographically (equal-length vectors).
+func lessVec(a, b []int) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}
+
+// vecHeight is the lattice height of a level vector: the sum of its
+// levels.
+func vecHeight(vec []int) int {
+	h := 0
+	for _, l := range vec {
+		h += l
+	}
+	return h
+}
+
 // best returns the cheapest recorded source whose level vector is
 // component-wise ≤ target, or nil when no compatible source exists yet.
+// Only height buckets ≤ the target's height are scanned; ties on bucket
+// count resolve to the lexicographically smallest vector.
 func (ci *coarsenIndex) best(target []int) *bucket.Bucketization {
 	ci.mu.Lock()
 	defer ci.mu.Unlock()
-	var best *bucket.Bucketization
-	for _, e := range ci.entries {
-		if len(e.vec) != len(target) || !leqVec(e.vec, target) {
+	h := vecHeight(target)
+	var (
+		best    *bucket.Bucketization
+		bestVec []int
+	)
+	for hh, entries := range ci.byHeight {
+		if hh > h {
 			continue
 		}
-		if best == nil || len(e.bz.Buckets) < len(best.Buckets) {
-			best = e.bz
+		for _, e := range entries {
+			if len(e.vec) != len(target) || !leqVec(e.vec, target) {
+				continue
+			}
+			if best == nil || len(e.bz.Buckets) < len(best.Buckets) ||
+				(len(e.bz.Buckets) == len(best.Buckets) && lessVec(e.vec, bestVec)) {
+				best, bestVec = e.bz, e.vec
+			}
 		}
 	}
 	return best
@@ -64,10 +106,35 @@ func (ci *coarsenIndex) best(target []int) *bucket.Bucketization {
 func (ci *coarsenIndex) add(vec []int, bz *bucket.Bucketization) {
 	ci.mu.Lock()
 	defer ci.mu.Unlock()
-	for _, e := range ci.entries {
+	if ci.byHeight == nil {
+		ci.byHeight = make(map[int][]coarsenEntry)
+	}
+	h := vecHeight(vec)
+	for _, e := range ci.byHeight[h] {
 		if len(e.vec) == len(vec) && leqVec(e.vec, vec) && leqVec(vec, e.vec) {
 			return
 		}
 	}
-	ci.entries = append(ci.entries, coarsenEntry{vec: append([]int(nil), vec...), bz: bz})
+	ci.byHeight[h] = append(ci.byHeight[h], coarsenEntry{vec: append([]int(nil), vec...), bz: bz})
+	ci.count++
+}
+
+// size reports the number of recorded vectors.
+func (ci *coarsenIndex) size() int {
+	ci.mu.Lock()
+	defer ci.mu.Unlock()
+	return ci.count
+}
+
+// snapshot returns a point-in-time copy of the entries — the sweep
+// planner enumerates candidate sources from this (the vectors are shared,
+// not copied; entries are immutable once added).
+func (ci *coarsenIndex) snapshot() []coarsenEntry {
+	ci.mu.Lock()
+	defer ci.mu.Unlock()
+	out := make([]coarsenEntry, 0, ci.count)
+	for _, entries := range ci.byHeight {
+		out = append(out, entries...)
+	}
+	return out
 }

@@ -242,7 +242,7 @@ func TestCoarsenIndexSeeded(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if got, want := len(p.cur.Load().sources.entries), p.Space().Size(); got != want {
+	if got, want := p.cur.Load().sources.size(), p.Space().Size(); got != want {
 		t.Fatalf("coarsen index has %d entries, want %d", got, want)
 	}
 	before := p.CacheStats()

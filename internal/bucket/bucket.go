@@ -43,6 +43,16 @@ func newBucket(key string, tuples []int, counts map[string]int) *Bucket {
 	return b
 }
 
+// rekeyBucket returns a bucket identical to b under a new key, sharing
+// its tuple, frequency and histogram storage. Coarsening a group of one
+// fine bucket changes nothing but the key, so the derived state can be
+// shared outright: buckets are immutable once built (the snapshotmut
+// analyzer pins them to this file) and appends rebuild touched buckets
+// rather than mutating them, so the sharing is never observable.
+func rekeyBucket(b *Bucket, key string) *Bucket {
+	return &Bucket{Key: key, Tuples: b.Tuples, freq: b.freq, prefix: b.prefix, hist: b.hist, scounts: b.scounts}
+}
+
 // finalize derives the prefix sums and the cached histogram from freq.
 func (b *Bucket) finalize() {
 	b.prefix = make([]int, len(b.freq)+1)

@@ -242,10 +242,18 @@ func finishGroups(enc *table.Encoded, dims []dim, groups []*egroup) *Bucketizati
 	}
 	ks := make([]keyed, len(groups))
 	parts := make([]string, len(dims))
+	sorted := true
 	for i, g := range groups {
 		ks[i] = keyed{keyString(dims, g.rep, parts), g}
+		if i > 0 && ks[i].key < ks[i-1].key {
+			sorted = false
+		}
 	}
-	sort.Slice(ks, func(i, j int) bool { return ks[i].key < ks[j].key })
+	// Groups already in key order (common when the scan order is the key
+	// order, e.g. a sorted table) skip the sort outright.
+	if !sorted {
+		sort.Slice(ks, func(i, j int) bool { return ks[i].key < ks[j].key })
+	}
 	bz := &Bucketization{Source: enc.Table}
 	bz.Buckets = make([]*Bucket, len(ks))
 	sdict := enc.SensitiveDict()
@@ -279,74 +287,10 @@ func FromGeneralizationEncoded(enc *table.Encoded, chs hierarchy.CompiledSet, le
 // component-wise ≤ the requested levels (on every schema QI attribute).
 // The result is then byte-identical to FromGeneralizationEncoded at the
 // requested levels.
+//
+// Coarsen is the one-shot form of CoarsenInto (arena.go): it borrows a
+// pooled Arena for the duration of the call. Sweeps that coarsen many
+// nodes in a row should hold an Arena across the calls instead.
 func Coarsen(fine *Bucketization, enc *table.Encoded, chs hierarchy.CompiledSet, levels Levels) (*Bucketization, error) {
-	dims, err := buildDims(enc, chs, levels)
-	if err != nil {
-		return nil, err
-	}
-	sens := enc.SensitiveCol()
-	scard := enc.SensitiveDict().Len()
-	// merge folds one fine bucket into the group: dense histograms are
-	// summed slice-to-slice when the fine bucket carries one, and recounted
-	// from its rows otherwise (sparse groups always recount — still O(rows)
-	// across the whole call, like the string path). A fine histogram
-	// shorter than the current sensitive code space is still exact: it was
-	// built before an append grew the sensitive dictionary, codes are never
-	// reassigned, and the bucket holds zero of every code it predates.
-	merge := func(g *egroup, b *Bucket) {
-		g.tuples = append(g.tuples, b.Tuples...)
-		switch {
-		case g.scounts != nil && b.scounts != nil && len(b.scounts) <= scard:
-			for v, n := range b.scounts {
-				g.scounts[v] += n
-			}
-		case g.scounts != nil:
-			for _, row := range b.Tuples {
-				g.scounts[sens[row]]++
-			}
-		default:
-			for _, row := range b.Tuples {
-				g.sparse[sens[row]]++
-			}
-		}
-	}
-	var groups []*egroup
-	if packable(dims) {
-		byKey := make(map[uint64]*egroup)
-		for _, b := range fine.Buckets {
-			if len(b.Tuples) == 0 {
-				continue
-			}
-			key := packKey(dims, b.Tuples[0])
-			g := byKey[key]
-			if g == nil {
-				g = newEgroup(b.Tuples[0], scard)
-				byKey[key] = g
-				groups = append(groups, g)
-			}
-			merge(g, b)
-		}
-	} else {
-		byKey := make(map[string]*egroup)
-		buf := make([]byte, 4*len(dims))
-		for _, b := range fine.Buckets {
-			if len(b.Tuples) == 0 {
-				continue
-			}
-			appendTupleKey(dims, b.Tuples[0], buf)
-			g := byKey[string(buf)]
-			if g == nil {
-				g = newEgroup(b.Tuples[0], scard)
-				byKey[string(buf)] = g
-				groups = append(groups, g)
-			}
-			merge(g, b)
-		}
-	}
-	// The string path emits tuples in row-scan order; merged runs must be
-	// re-sorted to match (each run is ascending, so this is near-linear).
-	for _, g := range groups {
-		sort.Ints(g.tuples)
-	}
-	return finishGroups(enc, dims, groups), nil
+	return CoarsenInto(fine, enc, chs, levels, nil)
 }

@@ -8,9 +8,11 @@ import (
 	"fmt"
 	"io"
 
+	"ckprivacy/internal/anonymize"
 	"ckprivacy/internal/bucket"
 	"ckprivacy/internal/core"
 	"ckprivacy/internal/dataset/adult"
+	"ckprivacy/internal/lattice"
 	"ckprivacy/internal/parallel"
 	"ckprivacy/internal/table"
 )
@@ -68,7 +70,25 @@ func RunFig5Config(tab *table.Table, cfg Fig5Config) (*Fig5Result, error) {
 	if maxK < 0 {
 		return nil, fmt.Errorf("experiments: negative maxK")
 	}
-	bz, err := bucketizeEncoded(tab, adult.Hierarchies(), Fig5Levels())
+	// Materialize the figure's generalization through the problem's planned
+	// sweep path (a one-node plan: encode once, base-scan at the DAG root),
+	// so fig5 exercises the same machinery the full-lattice sweeps run on.
+	// Tables whose values the hierarchies cannot compile fall back to the
+	// legacy string path inside NewProblem, preserving the lazy per-row
+	// error semantics of the reference implementation.
+	p, err := anonymize.NewProblem(tab, adult.Hierarchies(), adult.QuasiIdentifiers())
+	if err != nil {
+		return nil, fmt.Errorf("experiments: fig5: %w", err)
+	}
+	node, err := p.NodeForLevels(Fig5Levels())
+	if err != nil {
+		return nil, fmt.Errorf("experiments: fig5: %w", err)
+	}
+	snap := p.Snapshot()
+	if err := snap.MaterializeNodes([]lattice.Node{node}); err != nil {
+		return nil, fmt.Errorf("experiments: fig5 bucketize: %w", err)
+	}
+	bz, err := snap.Bucketize(node)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: fig5 bucketize: %w", err)
 	}

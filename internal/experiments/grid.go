@@ -36,6 +36,12 @@ type GridConfig struct {
 	// means the Adult hierarchies over the Adult quasi-identifiers.
 	Hierarchies hierarchy.Set
 	QI          []string
+	// NoPlannedSweeps disables the sweep planner for the grid's problem:
+	// every cell's chain search bucketizes its probes through the greedy
+	// per-miss path instead of handing each probe round to the planner.
+	// Results are byte-identical either way; the switch exists for parity
+	// tests and the planned-vs-per-node grid benchmark.
+	NoPlannedSweeps bool
 }
 
 // GridCell is the outcome of one (c,k) policy: the lowest safe node on the
@@ -98,10 +104,18 @@ func RunSafetyGrid(tab *table.Table, cfg GridConfig) (*GridResult, error) {
 	if len(qi) == 0 {
 		qi = adult.QuasiIdentifiers()
 	}
-	p, err := anonymize.NewProblem(tab, hs, qi)
+	po := anonymize.DefaultOptions()
+	po.NoPlannedSweeps = cfg.NoPlannedSweeps
+	p, err := anonymize.NewProblemWithOptions(tab, hs, qi, po)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: grid: %w", err)
 	}
+	// The cells' binary searches probe only O(cells + log chain) distinct
+	// chain nodes between them, so the planner is handed each probe round
+	// lazily through ChainSearch's batch path rather than pre-materializing
+	// the whole chain — the low chain nodes are the expensive ones and the
+	// searches rarely touch them.
+	snap := p.Snapshot()
 	engine := core.NewEngine()
 	res := &GridResult{
 		Cs:    append([]float64(nil), cs...),
@@ -114,13 +128,13 @@ func RunSafetyGrid(tab *table.Table, cfg GridConfig) (*GridResult, error) {
 	err = parallel.ForEach(cfg.Workers, len(cs)*len(ks), func(idx int) error {
 		i, j := idx/len(ks), idx%len(ks)
 		crit := privacy.CKSafety{C: cs[i], K: ks[j], Engine: engine}
-		node, ok, stats, err := p.ChainSearch(crit)
+		node, ok, stats, err := snap.ChainSearch(crit)
 		if err != nil {
 			return fmt.Errorf("experiments: grid at (c=%v, k=%d): %w", cs[i], ks[j], err)
 		}
 		cell := GridCell{C: cs[i], K: ks[j], Exists: ok, Height: -1, Evaluated: stats.Evaluated}
 		if ok {
-			bz, err := p.Bucketize(node)
+			bz, err := snap.Bucketize(node)
 			if err != nil {
 				return fmt.Errorf("experiments: grid at (c=%v, k=%d): %w", cs[i], ks[j], err)
 			}

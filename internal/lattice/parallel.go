@@ -1,12 +1,5 @@
 package lattice
 
-import (
-	"fmt"
-	"sync/atomic"
-
-	"ckprivacy/internal/parallel"
-)
-
 // This file holds the level-wise parallel counterparts of the searches in
 // search.go and incognito.go. The key observation making them exact: every
 // pruning mark (markAncestors) points strictly upward in the lattice, so
@@ -16,52 +9,16 @@ import (
 // Stats counters are identical to the serial searches, only wall-clock
 // changes. The expensive part of each evaluation (bucketize + max-
 // disclosure) runs on all cores.
+//
+// Each search is implemented once, in batch.go, with a frontier-prefetch
+// hook; the functions here are its nil-prefetch forms.
 
 // MinimalSatisfyingParallel is MinimalSatisfying with the predicate
 // evaluated on up to `workers` goroutines per lattice level (workers <= 0
 // means GOMAXPROCS). The predicate must be safe for concurrent calls. The
 // result and Stats are identical to the serial search.
 func MinimalSatisfyingParallel(s Space, pred Pred, workers int) ([]Node, Stats, error) {
-	workers = parallel.Workers(workers)
-	var stats Stats
-	satisfied := make(map[string]bool, s.Size())
-	var minimal []Node
-	for _, level := range s.Levels() {
-		// Pruning marks only arrive from strictly lower levels, so the
-		// skip-set is frozen for the whole level.
-		toEval := level[:0:0]
-		for _, n := range level {
-			if satisfied[n.Key()] {
-				stats.Inferred++
-				continue
-			}
-			toEval = append(toEval, n)
-		}
-		ok := make([]bool, len(toEval))
-		var evals atomic.Int64
-		err := parallel.ForEach(workers, len(toEval), func(i int) error {
-			o, err := pred(toEval[i])
-			if err != nil {
-				return fmt.Errorf("lattice: evaluating %v: %w", toEval[i], err)
-			}
-			evals.Add(1)
-			ok[i] = o
-			return nil
-		})
-		stats.Evaluated += int(evals.Load())
-		if err != nil {
-			return nil, stats, err
-		}
-		// Barrier: apply monotone pruning in serial node order.
-		for i, n := range toEval {
-			if !ok[i] {
-				continue
-			}
-			minimal = append(minimal, n)
-			markAncestors(s, n, satisfied)
-		}
-	}
-	return minimal, stats, nil
+	return MinimalSatisfyingBatch(s, pred, nil, workers)
 }
 
 // IncognitoParallel is Incognito with each level of each subset lattice
@@ -72,99 +29,7 @@ func MinimalSatisfyingParallel(s Space, pred Pred, workers int) ([]Node, Stats, 
 // for concurrent calls. The result and Stats are identical to serial
 // Incognito.
 func IncognitoParallel(s Space, check SubsetPred, workers int) ([]Node, Stats, error) {
-	workers = parallel.Workers(workers)
-	var stats Stats
-	m := s.NumDims()
-	satisfying := make(map[string]map[string]bool)
-
-	type unit struct {
-		si int // index into subsets
-		n  Node
-	}
-	var fullSet map[string]bool
-	for size := 1; size <= m; size++ {
-		subsets := combinations(m, size)
-		subSpaces := make([]Space, len(subsets))
-		levels := make([][][]Node, len(subsets))
-		sats := make([]map[string]bool, len(subsets))
-		maxH := 0
-		for si, subset := range subsets {
-			sub, err := s.SubSpace(subset)
-			if err != nil {
-				return nil, stats, err
-			}
-			subSpaces[si] = sub
-			levels[si] = sub.Levels()
-			sats[si] = make(map[string]bool)
-			satisfying[subsetKey(subset)] = sats[si]
-			if h := sub.MaxHeight(); h > maxH {
-				maxH = h
-			}
-		}
-		for h := 0; h <= maxH; h++ {
-			var units []unit
-			for si := range subsets {
-				if h >= len(levels[si]) {
-					continue
-				}
-				for _, n := range levels[si][h] {
-					if sats[si][n.Key()] {
-						stats.Inferred++ // marked by a lower satisfying node
-						continue
-					}
-					if !candidate(subsets[si], n, satisfying) {
-						stats.Inferred++ // some projection already failed
-						continue
-					}
-					units = append(units, unit{si: si, n: n})
-				}
-			}
-			ok := make([]bool, len(units))
-			var evals atomic.Int64
-			err := parallel.ForEach(workers, len(units), func(i int) error {
-				u := units[i]
-				o, err := check(subsets[u.si], u.n)
-				if err != nil {
-					return fmt.Errorf("lattice: incognito at %v/%v: %w", subsets[u.si], u.n, err)
-				}
-				evals.Add(1)
-				ok[i] = o
-				return nil
-			})
-			stats.Evaluated += int(evals.Load())
-			if err != nil {
-				return nil, stats, err
-			}
-			for i, u := range units {
-				if !ok[i] {
-					continue
-				}
-				sats[u.si][u.n.Key()] = true
-				markAncestors(subSpaces[u.si], u.n, sats[u.si])
-			}
-		}
-		if size == m {
-			fullSet = sats[len(subsets)-1]
-		}
-	}
-
-	var minimal []Node
-	for _, n := range s.All() {
-		if !fullSet[n.Key()] {
-			continue
-		}
-		isMin := true
-		for _, c := range s.Children(n) {
-			if fullSet[c.Key()] {
-				isMin = false
-				break
-			}
-		}
-		if isMin {
-			minimal = append(minimal, n)
-		}
-	}
-	return minimal, stats, nil
+	return IncognitoBatch(s, check, nil, workers)
 }
 
 // BinarySearchChainParallel generalizes BinarySearchChain to multi-section
@@ -174,52 +39,5 @@ func IncognitoParallel(s Space, check SubsetPred, workers int) ([]Node, Stats, e
 // Stats — is exactly the serial binary search's. The returned index is
 // identical to the serial search for any monotone predicate.
 func BinarySearchChainParallel(chain []Node, pred Pred, workers int) (int, Stats, error) {
-	workers = parallel.Workers(workers)
-	var stats Stats
-	lo, hi := 0, len(chain) // invariant: answer in [lo, hi]; hi means none
-	for lo < hi {
-		m := hi - lo
-		p := workers
-		if p > m {
-			p = m
-		}
-		probes := make([]int, p)
-		for i := range probes {
-			probes[i] = lo + (i+1)*m/(p+1)
-		}
-		ok := make([]bool, p)
-		var evals atomic.Int64
-		err := parallel.ForEach(workers, p, func(i int) error {
-			o, err := pred(chain[probes[i]])
-			if err != nil {
-				return fmt.Errorf("lattice: evaluating %v: %w", chain[probes[i]], err)
-			}
-			evals.Add(1)
-			ok[i] = o
-			return nil
-		})
-		stats.Evaluated += int(evals.Load())
-		if err != nil {
-			return -1, stats, err
-		}
-		// Monotonicity makes ok a false…true step function over the sorted
-		// probes; narrow to the step.
-		firstTrue := p
-		for i, o := range ok {
-			if o {
-				firstTrue = i
-				break
-			}
-		}
-		if firstTrue < p {
-			hi = probes[firstTrue]
-		}
-		if firstTrue > 0 {
-			lo = probes[firstTrue-1] + 1
-		}
-	}
-	if lo == len(chain) {
-		return -1, stats, nil
-	}
-	return lo, stats, nil
+	return BinarySearchChainBatch(chain, pred, nil, workers)
 }

@@ -7,6 +7,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"ckprivacy/internal/bucket"
 )
 
 // metrics collects per-endpoint request counts and latency sums plus job
@@ -160,6 +162,33 @@ func (m *metrics) writeTo(w io.Writer, s *Server) {
 		cs := info.ds.problem.CacheStats()
 		fmt.Fprintf(w, "ckprivacyd_dataset_cache_entries{dataset=%q} %d\n", info.name, cs.Entries)
 	}
+	fmt.Fprintln(w, "# HELP ckprivacyd_dataset_planned_sweeps_total Planned lattice sweeps executed by the dataset's sweep planner.")
+	fmt.Fprintln(w, "# TYPE ckprivacyd_dataset_planned_sweeps_total counter")
+	for _, info := range infos {
+		fmt.Fprintf(w, "ckprivacyd_dataset_planned_sweeps_total{dataset=%q} %d\n", info.name, info.ds.problem.SweepStats().Sweeps)
+	}
+	fmt.Fprintln(w, "# HELP ckprivacyd_dataset_planned_nodes_total Derivation-DAG nodes scheduled by planned sweeps, by how each was materialized (base_scan = full row scan at a DAG root, coarsened = derived from a parent through a pooled arena, reused = already materialized).")
+	fmt.Fprintln(w, "# TYPE ckprivacyd_dataset_planned_nodes_total counter")
+	for _, info := range infos {
+		ss := info.ds.problem.SweepStats()
+		fmt.Fprintf(w, "ckprivacyd_dataset_planned_nodes_total{dataset=%q,path=\"base_scan\"} %d\n", info.name, ss.BaseScans)
+		fmt.Fprintf(w, "ckprivacyd_dataset_planned_nodes_total{dataset=%q,path=\"coarsened\"} %d\n", info.name, ss.Coarsened)
+		fmt.Fprintf(w, "ckprivacyd_dataset_planned_nodes_total{dataset=%q,path=\"reused\"} %d\n", info.name, ss.Reused)
+	}
+	fmt.Fprintln(w, "# HELP ckprivacyd_dataset_planned_buckets_total Bucket counts summed over planner-materialized nodes, predicted by the cost model vs actually produced (ratio near 1 means good parent choices).")
+	fmt.Fprintln(w, "# TYPE ckprivacyd_dataset_planned_buckets_total counter")
+	for _, info := range infos {
+		ss := info.ds.problem.SweepStats()
+		fmt.Fprintf(w, "ckprivacyd_dataset_planned_buckets_total{dataset=%q,kind=\"predicted\"} %d\n", info.name, ss.PredictedBuckets)
+		fmt.Fprintf(w, "ckprivacyd_dataset_planned_buckets_total{dataset=%q,kind=\"actual\"} %d\n", info.name, ss.ActualBuckets)
+	}
+	arenaGets, arenaReuses := bucket.ArenaStats()
+	fmt.Fprintln(w, "# HELP ckprivacyd_arena_gets_total Scratch arenas borrowed from the process-wide coarsening pool.")
+	fmt.Fprintln(w, "# TYPE ckprivacyd_arena_gets_total counter")
+	fmt.Fprintf(w, "ckprivacyd_arena_gets_total %d\n", arenaGets)
+	fmt.Fprintln(w, "# HELP ckprivacyd_arena_reuses_total Arena borrows satisfied without a fresh allocation (gets minus allocs).")
+	fmt.Fprintln(w, "# TYPE ckprivacyd_arena_reuses_total counter")
+	fmt.Fprintf(w, "ckprivacyd_arena_reuses_total %d\n", arenaReuses)
 	fmt.Fprintln(w, "# HELP ckprivacyd_dataset_memo_bytes Accounted bytes of each dataset's problem-scoped engine memo (warmed by anonymize jobs).")
 	fmt.Fprintln(w, "# TYPE ckprivacyd_dataset_memo_bytes gauge")
 	for _, info := range infos {

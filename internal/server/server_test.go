@@ -9,6 +9,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"runtime"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
@@ -579,6 +580,65 @@ func TestMetricsShape(t *testing.T) {
 			t.Errorf("metrics missing %q:\n%s", want, metrics)
 		}
 	}
+}
+
+// TestMetricsPlannerFamilies pins the sweep-planner and arena families: a
+// completed anonymize job runs its lattice search as planned sweeps, so
+// the dataset's planner counters and the process-wide arena pool counters
+// must be live on /metrics.
+func TestMetricsPlannerFamilies(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	registerHospital(t, ts.URL, "h")
+	var acc anonymizeAccepted
+	if code := postJSON(t, ts.URL+"/v1/anonymize",
+		map[string]any{"dataset": "h", "criterion": "ck", "c": 0.7, "k": 1, "method": "minimal"},
+		&acc); code != http.StatusAccepted {
+		t.Fatalf("anonymize = %d", code)
+	}
+	if st := pollJob(t, ts.URL, acc.ID); st.State != JobDone {
+		t.Fatalf("job = %+v", st)
+	}
+
+	metrics := getText(t, ts.URL+"/metrics")
+	for _, want := range []string{
+		`ckprivacyd_dataset_planned_sweeps_total{dataset="h"}`,
+		`ckprivacyd_dataset_planned_nodes_total{dataset="h",path="base_scan"}`,
+		`ckprivacyd_dataset_planned_nodes_total{dataset="h",path="coarsened"}`,
+		`ckprivacyd_dataset_planned_nodes_total{dataset="h",path="reused"}`,
+		`ckprivacyd_dataset_planned_buckets_total{dataset="h",kind="predicted"}`,
+		`ckprivacyd_dataset_planned_buckets_total{dataset="h",kind="actual"}`,
+		"ckprivacyd_arena_gets_total",
+		"ckprivacyd_arena_reuses_total",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("metrics missing %q:\n%s", want, grepMetrics(metrics, "planned"))
+		}
+	}
+	// The job's search really went through the planner: the level-wise
+	// search hands every frontier to it, so at least one sweep with one
+	// base-scan root must have been counted.
+	if v := metricValue(t, metrics, `ckprivacyd_dataset_planned_sweeps_total{dataset="h"}`); v == 0 {
+		t.Errorf("planner recorded no sweeps after a minimal-anonymize job:\n%s", grepMetrics(metrics, "planned"))
+	}
+	if v := metricValue(t, metrics, `ckprivacyd_dataset_planned_nodes_total{dataset="h",path="base_scan"}`); v == 0 {
+		t.Errorf("planner recorded no base scans:\n%s", grepMetrics(metrics, "planned"))
+	}
+}
+
+// metricValue extracts one sample's value from exposition-format text.
+func metricValue(t *testing.T, metrics, name string) float64 {
+	t.Helper()
+	for _, line := range strings.Split(metrics, "\n") {
+		if rest, ok := strings.CutPrefix(line, name+" "); ok {
+			v, err := strconv.ParseFloat(rest, 64)
+			if err != nil {
+				t.Fatalf("metric %s has unparsable value %q", name, rest)
+			}
+			return v
+		}
+	}
+	t.Fatalf("metric %s not found:\n%s", name, metrics)
+	return 0
 }
 
 // TestEstimateZeroAcceptance: a well-formed φ that no world satisfies must

@@ -95,10 +95,37 @@ func unwrapAssert(e ast.Expr) *ast.CallExpr {
 }
 
 // isPoolCall reports whether call invokes the named method on a
-// sync.Pool receiver.
+// sync.Pool receiver, or the matching package-level arena wrapper
+// (GetArena for "Get", PutArena for "Put"): bucket's pooled-Arena API
+// hides its sync.Pool behind those two functions, and the same
+// Get → use → Put path contract binds their callers.
 func isPoolCall(pass *analysis.Pass, call *ast.CallExpr, method string) bool {
 	recv, name := analysis.MethodCall(pass.TypesInfo, call)
-	return recv != nil && name == method && analysis.TypeIs(recv, "sync", "Pool")
+	if recv != nil && name == method && analysis.TypeIs(recv, "sync", "Pool") {
+		return true
+	}
+	return isArenaCall(pass, call, method+"Arena")
+}
+
+// isArenaCall reports whether call invokes a package-level (receiver-
+// less) function of the given name, in any package.
+func isArenaCall(pass *analysis.Pass, call *ast.CallExpr, name string) bool {
+	var id *ast.Ident
+	switch fn := call.Fun.(type) {
+	case *ast.Ident:
+		id = fn
+	case *ast.SelectorExpr:
+		id = fn.Sel
+	}
+	if id == nil || id.Name != name {
+		return false
+	}
+	fn, ok := pass.TypesInfo.ObjectOf(id).(*types.Func)
+	if !ok {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && sig.Recv() == nil
 }
 
 // checkVar applies the path rules to one pooled variable.

@@ -7,7 +7,8 @@ import (
 )
 
 func TestSnapshotmut(t *testing.T) {
-	// The testdata package is named "bucket" so the analyzer's
-	// bucket.Bucket pin — keyed on package name — applies to it.
+	// The testdata packages are named "bucket" and "anonymize" so the
+	// analyzer's pins — keyed on package name — apply to them.
 	analysistest.Run(t, "testdata/src/bucket", Analyzer)
+	analysistest.Run(t, "testdata/src/anonymize", Analyzer)
 }

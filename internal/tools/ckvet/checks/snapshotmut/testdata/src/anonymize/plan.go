@@ -1,0 +1,28 @@
+// Package anonymize is snapshotmut testdata; it is named after the real
+// package so the analyzer's "anonymize.planNode" pin applies. This file
+// is plan.go, the type's owning constructor file: writes here are
+// allowed.
+package anonymize
+
+// planNode mirrors the real pinned type: a sweep DAG node, read-only
+// once planning finishes.
+type planNode struct {
+	vec       []int
+	keys      []string
+	parent    int
+	predicted int
+}
+
+// buildPlan constructs and may freely mutate nodes under construction.
+func buildPlan(vecs [][]int) []planNode {
+	nodes := make([]planNode, 0, len(vecs))
+	for _, v := range vecs {
+		nodes = append(nodes, planNode{vec: v, parent: -1})
+	}
+	for i := range nodes {
+		pn := &nodes[i]
+		pn.keys = append(pn.keys, "k")
+		pn.predicted++
+	}
+	return nodes
+}

@@ -1,0 +1,23 @@
+// This file is NOT plan.go: writes to planNode here violate the pin.
+// The executor must treat a finished plan as read-only — its frontier
+// workers share the nodes with no locks.
+package anonymize
+
+// executeMutates patches a plan node mid-execution.
+func executeMutates(nodes []planNode) {
+	nodes[0].parent = 2 // want `write to field parent of pinned-immutable anonymize.planNode`
+}
+
+// appendKeys grows a pinned node's key list outside the planner.
+func appendKeys(pn *planNode) {
+	pn.keys = append(pn.keys, "late") // want `write to field keys of pinned-immutable anonymize.planNode`
+}
+
+// readOnly reads are always fine.
+func readOnly(nodes []planNode) int {
+	total := 0
+	for i := range nodes {
+		total += nodes[i].predicted + len(nodes[i].vec)
+	}
+	return total
+}
