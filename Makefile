@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet vet-ck fmt fmt-check test race bench bench-json bench-compare examples serve lint docs-check loadtest loadtest-restart fuzz-smoke loadtest-race
+.PHONY: all build vet vet-ck fmt fmt-check test race bench bench-json bench-compare examples serve lint docs-check loadtest loadtest-restart loadtest-replica fuzz-smoke loadtest-race
 
 all: build vet fmt-check test
 
@@ -100,6 +100,19 @@ loadtest-restart:
 	$(GO) run ./cmd/ckprivacy loadtest $(LOADTEST_RESTART_ARGS) -data-dir $$dir -restart; \
 	status=$$?; rm -rf $$dir; exit $$status
 
+## loadtest-replica is the replication smoke: the workload runs against a
+## durable in-process leader while an in-process read-only follower tails
+## its WAL over the replication endpoints; the read half of the mix
+## (disclosure/check/info) is served by the follower live, and after the
+## workload the follower must be caught up with zero record lag and
+## answer identically to the leader.
+LOADTEST_REPLICA_ARGS ?= -rows 20000 -ops 100 -clients 2 -shards 0
+
+loadtest-replica:
+	@dir=$$(mktemp -d); \
+	$(GO) run ./cmd/ckprivacy loadtest $(LOADTEST_REPLICA_ARGS) -data-dir $$dir -replica; \
+	status=$$?; rm -rf $$dir; exit $$status
+
 ## fuzz-smoke gives each store decoder fuzz target a short budget
 ## (mirrors the CI fuzz job): long enough to catch a regression in the
 ## snapshot/WAL hardening, short enough for every push. Raise
@@ -135,12 +148,12 @@ bench-json:
 ## fetched on demand via `go run` like the lint tools; x/perf publishes no
 ## semver tags, so the version floats unless BENCHSTAT_VERSION is pinned
 ## to a pseudo-version.
-BENCH_PATTERN ?= BenchmarkBucketize|BenchmarkEncodeTable|BenchmarkLatticeSweep|BenchmarkGridPlanned|BenchmarkAppendSmall
+BENCH_PATTERN ?= BenchmarkBucketize|BenchmarkEncodeTable|BenchmarkLatticeSweep|BenchmarkGridPlanned|BenchmarkAppendSmall|BenchmarkFollowerCatchup
 BENCHSTAT_VERSION ?= latest
 BENCH_COUNT ?= 6
 
 bench-compare:
-	$(GO) test -bench='$(BENCH_PATTERN)' -benchmem -count=$(BENCH_COUNT) -run='^$$' . | tee BENCH_compare_new.txt
+	$(GO) test -bench='$(BENCH_PATTERN)' -benchmem -count=$(BENCH_COUNT) -run='^$$' . ./internal/replica/ | tee BENCH_compare_new.txt
 	@if [ -f BENCH_compare_old.txt ]; then \
 		$(GO) run golang.org/x/perf/cmd/benchstat@$(BENCHSTAT_VERSION) BENCH_compare_old.txt BENCH_compare_new.txt; \
 	else \

@@ -14,6 +14,7 @@ import (
 	"ckprivacy/internal/logic"
 	"ckprivacy/internal/parallel"
 	"ckprivacy/internal/privacy"
+	"ckprivacy/internal/replica"
 	"ckprivacy/internal/server"
 	"ckprivacy/internal/store"
 	"ckprivacy/internal/table"
@@ -532,3 +533,30 @@ var (
 // OpenStore validates the data directory (creating it if absent) and
 // returns the durable store over it.
 func OpenStore(opts StoreOptions) (*Store, error) { return store.Open(opts) }
+
+// Replication (follower replicas over the durable store).
+type (
+	// Follower replicates a leader daemon's datasets into a local
+	// read-only Server: snapshot bootstrap over HTTP, continuous WAL
+	// tailing, byte-identical apply through the replay path, and lag
+	// reporting. Build the local Server with ServerConfig.ReadOnly and
+	// run the Follower alongside its listener (cmd/ckprivacyd wires both
+	// behind -follow).
+	Follower = replica.Follower
+	// FollowerOptions configures a Follower: the leader URL, the local
+	// server, polling/long-poll cadence and retry backoff.
+	FollowerOptions = replica.Options
+	// ReplicaProgress is a follower dataset's replication position as
+	// surfaced on /v1/datasets and /metrics.
+	ReplicaProgress = server.ReplicaProgress
+)
+
+// ErrReplicaDiverged marks a fatal replication failure: an applied WAL
+// record did not reproduce the version or release index it names, so the
+// follower stops serving the dataset rather than expose divergent state.
+// Matched with errors.Is.
+var ErrReplicaDiverged = server.ErrReplicaDiverged
+
+// NewFollower validates options and builds a Follower; call Run with a
+// cancellable context to start replicating.
+func NewFollower(opts FollowerOptions) (*Follower, error) { return replica.New(opts) }

@@ -11,10 +11,12 @@ import (
 	"os"
 	"os/signal"
 	"reflect"
+	"strings"
 	"syscall"
 	"time"
 
 	"ckprivacy/internal/loadtest"
+	"ckprivacy/internal/replica"
 	"ckprivacy/internal/server"
 	"ckprivacy/internal/store"
 )
@@ -33,27 +35,37 @@ import (
 // recovers from the same directory, and the recovered dataset must serve
 // the same version, rows, releases and disclosure numbers as the one
 // that "died".
+//
+// Adding -replica instead pairs the daemon with an in-process read-only
+// follower fed over the replication endpoints; the read half of the mix
+// (disclosure/check/info) is routed to the follower while it tails the
+// leader's WAL live, and after the workload the follower must catch up
+// and answer byte-for-byte identically to the leader.
 func cmdLoadtest(args []string) error {
 	fs := flag.NewFlagSet("loadtest", flag.ContinueOnError)
 	var (
-		url     = fs.String("url", "", "ckprivacyd base URL (empty starts an in-process daemon)")
-		rows    = fs.Int("rows", 20000, "synthetic row budget: half registered up front, half streamed via appends")
-		clients = fs.Int("clients", 4, "concurrent client goroutines")
-		ops     = fs.Int("ops", 200, "total operation budget across clients")
-		seed    = fs.Int64("seed", 1, "synthetic generator seed")
-		batch   = fs.Int("append-batch", 64, "rows per append operation")
-		k       = fs.Int("k", 2, "largest background-knowledge bound used by disclosure operations")
-		dataset = fs.String("dataset", "loadtest", "name to register the synthetic dataset under")
-		shards  = shardsFlag(fs)
-		asJSON  = fs.Bool("json", false, "emit the report as JSON")
-		dataDir = fs.String("data-dir", "", "durable store directory for the in-process daemon (empty keeps it in-memory)")
-		restart = fs.Bool("restart", false, "after the workload, hard-stop the daemon, recover a fresh one from -data-dir and verify the dataset survived")
+		url       = fs.String("url", "", "ckprivacyd base URL (empty starts an in-process daemon)")
+		rows      = fs.Int("rows", 20000, "synthetic row budget: half registered up front, half streamed via appends")
+		clients   = fs.Int("clients", 4, "concurrent client goroutines")
+		ops       = fs.Int("ops", 200, "total operation budget across clients")
+		seed      = fs.Int64("seed", 1, "synthetic generator seed")
+		batch     = fs.Int("append-batch", 64, "rows per append operation")
+		k         = fs.Int("k", 2, "largest background-knowledge bound used by disclosure operations")
+		dataset   = fs.String("dataset", "loadtest", "name to register the synthetic dataset under")
+		shards    = shardsFlag(fs)
+		asJSON    = fs.Bool("json", false, "emit the report as JSON")
+		dataDir   = fs.String("data-dir", "", "durable store directory for the in-process daemon (empty keeps it in-memory)")
+		restart   = fs.Bool("restart", false, "after the workload, hard-stop the daemon, recover a fresh one from -data-dir and verify the dataset survived")
+		asReplica = fs.Bool("replica", false, "pair the in-process daemon with an in-process read replica: the read half of the mix drives the follower, and after the workload it must catch up and answer identically to the leader (needs -data-dir)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *restart && (*url != "" || *dataDir == "") {
 		return fmt.Errorf("loadtest: -restart needs an in-process daemon with -data-dir")
+	}
+	if *asReplica && (*url != "" || *dataDir == "") {
+		return fmt.Errorf("loadtest: -replica needs an in-process daemon with -data-dir (the leader ships its durable store)")
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -93,6 +105,15 @@ func cmdLoadtest(args []string) error {
 		fmt.Fprintf(os.Stderr, "loadtest: in-process daemon on %s\n", base)
 	}
 
+	readBase := ""
+	if *asReplica {
+		var err error
+		if readBase, err = startReplica(ctx, base); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "loadtest: in-process read replica on %s (reads route here)\n", readBase)
+	}
+
 	res, err := loadtest.Run(ctx, loadtest.Config{
 		BaseURL:     base,
 		Dataset:     *dataset,
@@ -102,6 +123,7 @@ func cmdLoadtest(args []string) error {
 		Ops:         *ops,
 		AppendBatch: *batch,
 		K:           *k,
+		ReadURL:     readBase,
 	})
 	if err != nil {
 		return err
@@ -115,9 +137,102 @@ func cmdLoadtest(args []string) error {
 	} else if err := res.Render(os.Stdout); err != nil {
 		return err
 	}
+	if *asReplica {
+		if err := verifyReplica(base, readBase, *dataset, *k); err != nil {
+			return err
+		}
+	}
 	if *restart {
 		return verifyRestart(base, *dataDir, *dataset, *k, *shards, *rows, crash)
 	}
+	return nil
+}
+
+// startReplica boots an in-process read-only follower of the leader at
+// leaderBase and returns its base URL once the replication loop is up. The
+// follower is memory-only: it exercises the shipping path, not a second
+// disk. Its lifetime is the process's — the harness exits after the
+// verdict, so no teardown plumbing is kept.
+func startReplica(ctx context.Context, leaderBase string) (string, error) {
+	srv := server.New(server.Config{ReadOnly: true})
+	f, err := replica.New(replica.Options{
+		LeaderURL:    leaderBase,
+		Server:       srv,
+		PollInterval: 200 * time.Millisecond,
+		WaitMS:       2000,
+	})
+	if err != nil {
+		return "", err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", err
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	go func() { _ = httpSrv.Serve(ln) }()
+	go func() { _ = f.Run(ctx) }()
+	return "http://" + ln.Addr().String(), nil
+}
+
+// verifyReplica is the post-workload replication verdict: the follower
+// must finish catching up (bounded wait), report zero record lag, and
+// serve the same version/rows/releases and disclosure numbers the leader
+// does.
+func verifyReplica(leaderBase, followerBase, dataset string, k int) error {
+	leaderInfo, err := getJSON(leaderBase + "/v1/datasets/" + dataset)
+	if err != nil {
+		return fmt.Errorf("replica: describing leader dataset: %w", err)
+	}
+	wantVersion, _ := leaderInfo["version"].(float64)
+
+	// Bounded catch-up: poll the follower's replication block until it is
+	// caught up at (or past) the leader's post-workload version.
+	begin := time.Now()
+	deadline := begin.Add(60 * time.Second)
+	var followerInfo map[string]any
+	for {
+		followerInfo, err = getJSON(followerBase + "/v1/datasets/" + dataset)
+		if err == nil {
+			v, _ := followerInfo["version"].(float64)
+			repl, _ := followerInfo["replication"].(map[string]any)
+			caught, _ := repl["caught_up"].(bool)
+			lag, _ := repl["lag_records"].(float64)
+			if v >= wantVersion && caught && lag == 0 {
+				break
+			}
+			if errMsg, _ := repl["error"].(string); strings.Contains(errMsg, "diverged") {
+				return fmt.Errorf("replica: follower diverged: %s", errMsg)
+			}
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("replica: follower never caught up to version %v (last: %v)", wantVersion, followerInfo)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	catchup := time.Since(begin).Round(time.Millisecond)
+
+	for _, field := range []string{"version", "rows", "releases", "dictionary_cardinalities"} {
+		if !reflect.DeepEqual(leaderInfo[field], followerInfo[field]) {
+			return fmt.Errorf("replica: dataset %s diverged: leader %v, follower %v",
+				field, leaderInfo[field], followerInfo[field])
+		}
+	}
+	leaderDisc, err := postJSON(leaderBase+"/v1/disclosure", map[string]any{"dataset": dataset, "k": k})
+	if err != nil {
+		return fmt.Errorf("replica: leader disclosure: %w", err)
+	}
+	followerDisc, err := postJSON(followerBase+"/v1/disclosure", map[string]any{"dataset": dataset, "k": k})
+	if err != nil {
+		return fmt.Errorf("replica: follower disclosure: %w", err)
+	}
+	delete(leaderDisc, "elapsed_ms")
+	delete(followerDisc, "elapsed_ms")
+	if !reflect.DeepEqual(leaderDisc, followerDisc) {
+		return fmt.Errorf("replica: disclosure diverged:\nleader:   %v\nfollower: %v", leaderDisc, followerDisc)
+	}
+	fmt.Fprintf(os.Stdout,
+		"replica: follower caught up to version %.0f in %s post-workload; zero record lag, version/rows/releases and disclosure identical\n",
+		wantVersion, catchup)
 	return nil
 }
 

@@ -19,9 +19,21 @@
 //	POST   /v1/anonymize               submit an async lattice-search job (202)
 //	GET    /v1/jobs/{id}               poll job status/result
 //	DELETE /v1/jobs/{id}               cancel a queued or running job
+//	GET    /v1/replication/datasets    replicable datasets (WAL coordinates)
+//	GET    /v1/replication/{x}/snapshot  raw snapshot bytes (replication)
+//	GET    /v1/replication/{x}/wal     committed WAL bytes from a cursor
 //	GET    /v1/openapi.yaml            the OpenAPI 3 spec (docs/openapi.yaml)
 //	GET    /healthz                    liveness
+//	GET    /readyz                     readiness (503 until follower catch-up)
 //	GET    /metrics                    Prometheus text format
+//
+// With -follow <leader-url> the daemon runs as a read replica: it
+// bootstraps every dataset from the leader's snapshots, tails the
+// leader's WAL continuously, rejects writes with 403 read_only, serves
+// reads (optionally pinned to a historical version via ?version=), and
+// reports replication lag on /metrics and /v1/datasets. A follower with
+// -data-dir persists what it applies and resumes from its own store
+// after a restart without re-fetching snapshots.
 //
 // The daemon shuts down gracefully on SIGINT/SIGTERM: the listener stops
 // accepting, in-flight requests finish, and queued anonymization jobs are
@@ -43,6 +55,7 @@ import (
 	"time"
 
 	"ckprivacy/internal/dataload"
+	"ckprivacy/internal/replica"
 	"ckprivacy/internal/server"
 	"ckprivacy/internal/store"
 )
@@ -75,6 +88,9 @@ func run(args []string) error {
 		dataDir       = fs.String("data-dir", "", "durable store directory: datasets persist as columnar snapshots + append WALs and are recovered at boot (empty disables persistence)")
 		walFsync      = fs.Bool("wal-fsync", true, "fsync the WAL on every committed append/release (requires -data-dir)")
 		compactWALMB  = fs.Int("compact-wal-mb", 64, "WAL size, in MiB, past which a dataset's log is compacted into a fresh snapshot")
+		follow        = fs.String("follow", "", "run as a read replica of the leader daemon at this base URL (e.g. http://leader:8344); writes are rejected with 403 read_only")
+		followPoll    = fs.Duration("follow-poll", 2*time.Second, "dataset-discovery poll interval in follower mode")
+		followWaitMS  = fs.Int("follow-wait-ms", 10000, "long-poll budget per WAL fetch in follower mode")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -94,7 +110,12 @@ func run(args []string) error {
 		}
 	}
 
+	if *follow != "" && *preload != "" {
+		return fmt.Errorf("-preload and -follow are mutually exclusive: a follower's datasets come from the leader")
+	}
+
 	srv := server.New(server.Config{
+		ReadOnly:      *follow != "",
 		Store:         mgr,
 		MaxK:          *maxK,
 		MaxRows:       *maxRows,
@@ -140,6 +161,23 @@ func run(args []string) error {
 	}
 	srv.SetBootDuration(time.Since(bootBegin))
 
+	// Follower mode: start the replication loop alongside the listener. It
+	// bootstraps/resumes every leader dataset, applies the WAL stream, and
+	// flips /readyz to 200 once initial catch-up completes.
+	var follower *replica.Follower
+	if *follow != "" {
+		var err error
+		follower, err = replica.New(replica.Options{
+			LeaderURL:    strings.TrimRight(*follow, "/"),
+			Server:       srv,
+			PollInterval: *followPoll,
+			WaitMS:       *followWaitMS,
+		})
+		if err != nil {
+			return err
+		}
+	}
+
 	httpSrv := &http.Server{
 		Addr:              *addr,
 		Handler:           srv.Handler(),
@@ -160,6 +198,17 @@ func run(args []string) error {
 		errc <- httpSrv.ListenAndServe()
 	}()
 
+	replDone := make(chan struct{})
+	if follower != nil {
+		go func() {
+			defer close(replDone)
+			log.Printf("following leader at %s", *follow)
+			_ = follower.Run(ctx)
+		}()
+	} else {
+		close(replDone)
+	}
+
 	select {
 	case err := <-errc:
 		// The listener died before any signal (e.g. a bad address); the
@@ -179,6 +228,10 @@ func run(args []string) error {
 	defer cancel()
 	httpErr := httpSrv.Shutdown(drainCtx)
 	jobErr := srv.Shutdown(drainCtx)
+	select {
+	case <-replDone:
+	case <-drainCtx.Done():
+	}
 	if httpErr != nil && !errors.Is(httpErr, http.ErrServerClosed) {
 		return httpErr
 	}

@@ -4,6 +4,9 @@
 // weighted operation mix (disclosure, safety checks, streaming appends,
 // dataset reads, anonymization jobs and throwaway registrations) and
 // reports per-operation p50/p99 latency plus append throughput in rows/s.
+// With Config.ReadURL the read half of the mix drives a second daemon — a
+// follower replica — while writes keep hitting the leader, which is how
+// "ckprivacy loadtest -replica" exercises replication under load.
 // Cancelling the context drains cleanly: clients stop picking up new
 // operations, in-flight ones finish, and the partial result is returned.
 package loadtest
@@ -45,6 +48,11 @@ type Config struct {
 	// K is the largest background-knowledge bound disclosure operations
 	// use (each op draws from [1, K]). Default 2.
 	K int
+	// ReadURL, when set, routes the read-only operations (disclosure,
+	// check, info) to a different daemon — a follower replica — while
+	// writes keep going to BaseURL. Run waits for the replica to see the
+	// registered dataset before the clock starts. Default: BaseURL.
+	ReadURL string
 	// Client overrides the HTTP client (tests inject the httptest one).
 	Client *http.Client
 }
@@ -67,6 +75,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.K <= 0 {
 		c.K = 2
+	}
+	if c.ReadURL == "" {
+		c.ReadURL = c.BaseURL
 	}
 	if c.Client == nil {
 		c.Client = http.DefaultClient
@@ -153,6 +164,13 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 	if status != http.StatusCreated {
 		return nil, fmt.Errorf("loadtest: register %q: HTTP %d: %s", cfg.Dataset, status, body)
 	}
+	// Reads route to a replica: hold the clock until it has discovered and
+	// installed the dataset, so the measured mix never races the bootstrap.
+	if cfg.ReadURL != cfg.BaseURL {
+		if err := r.waitReadVisible(ctx); err != nil {
+			return nil, err
+		}
+	}
 
 	begin := time.Now()
 	next := make(chan int) // global op index, closed when the budget is spent
@@ -190,7 +208,7 @@ func (r *runner) op(ctx context.Context, i int) {
 	switch kind {
 	case "disclosure":
 		k := 1 + i%r.cfg.K
-		ok = r.expect(ctx, http.StatusOK, "/v1/disclosure",
+		ok = r.expectRead(ctx, http.StatusOK, "/v1/disclosure",
 			map[string]any{"dataset": r.cfg.Dataset, "k": k})
 	case "check":
 		// Rotate criteria so the cheap counting checks and the DP-backed
@@ -204,14 +222,14 @@ func (r *runner) op(ctx context.Context, i int) {
 		default:
 			body = map[string]any{"dataset": r.cfg.Dataset, "criterion": "distinct-l", "l": 2}
 		}
-		ok = r.expect(ctx, http.StatusOK, "/v1/check", body)
+		ok = r.expectRead(ctx, http.StatusOK, "/v1/check", body)
 	case "append":
 		rows := r.takeBatch()
 		if rows == nil {
 			// Stream exhausted: keep the slot busy with a disclosure so the
 			// tail of a long run still measures something.
 			kind = "disclosure"
-			ok = r.expect(ctx, http.StatusOK, "/v1/disclosure",
+			ok = r.expectRead(ctx, http.StatusOK, "/v1/disclosure",
 				map[string]any{"dataset": r.cfg.Dataset, "k": 1})
 			break
 		}
@@ -223,13 +241,35 @@ func (r *runner) op(ctx context.Context, i int) {
 			r.mu.Unlock()
 		}
 	case "info":
-		ok = r.expectGet(ctx, "/v1/datasets/"+r.cfg.Dataset)
+		ok = r.expectGetRead(ctx, "/v1/datasets/"+r.cfg.Dataset)
 	case "anonymize":
 		ok = r.anonymize(ctx)
 	case "register":
 		ok = r.registerThrowaway(ctx)
 	}
 	r.record(kind, time.Since(begin), ok)
+}
+
+// waitReadVisible blocks until the read daemon serves the registered
+// dataset — a follower replica needs one discovery cycle plus a snapshot
+// install before its first read can succeed.
+func (r *runner) waitReadVisible(ctx context.Context) error {
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		status, _, err := r.getFrom(r.cfg.ReadURL, "/v1/datasets/"+r.cfg.Dataset)
+		if err == nil && status == http.StatusOK {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("loadtest: read replica at %s never saw dataset %q (last status %d, err %v)",
+				r.cfg.ReadURL, r.cfg.Dataset, status, err)
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(50 * time.Millisecond):
+		}
+	}
 }
 
 // takeBatch pulls the next append batch off the shared stream.
@@ -393,15 +433,19 @@ func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond)
 
 // ---- HTTP plumbing ----
 
-// post issues a JSON POST and returns the status and body. The request
-// deliberately does not carry ctx: a cancelled run drains in-flight
-// operations instead of aborting them.
+// post issues a JSON POST against the write (leader) daemon and returns
+// the status and body. The request deliberately does not carry ctx: a
+// cancelled run drains in-flight operations instead of aborting them.
 func (r *runner) post(_ context.Context, path string, v any) (int, []byte, error) {
+	return r.postTo(r.cfg.BaseURL, path, v)
+}
+
+func (r *runner) postTo(base, path string, v any) (int, []byte, error) {
 	data, err := json.Marshal(v)
 	if err != nil {
 		return 0, nil, err
 	}
-	resp, err := r.cfg.Client.Post(r.cfg.BaseURL+path, "application/json", bytes.NewReader(data))
+	resp, err := r.cfg.Client.Post(base+path, "application/json", bytes.NewReader(data))
 	if err != nil {
 		return 0, nil, err
 	}
@@ -411,7 +455,11 @@ func (r *runner) post(_ context.Context, path string, v any) (int, []byte, error
 }
 
 func (r *runner) get(_ context.Context, path string) (int, []byte, error) {
-	resp, err := r.cfg.Client.Get(r.cfg.BaseURL + path)
+	return r.getFrom(r.cfg.BaseURL, path)
+}
+
+func (r *runner) getFrom(base, path string) (int, []byte, error) {
+	resp, err := r.cfg.Client.Get(base + path)
 	if err != nil {
 		return 0, nil, err
 	}
@@ -425,7 +473,19 @@ func (r *runner) expect(ctx context.Context, want int, path string, v any) bool 
 	return err == nil && status == want
 }
 
+// expectRead posts a read-only request to the read daemon (ReadURL).
+func (r *runner) expectRead(_ context.Context, want int, path string, v any) bool {
+	status, _, err := r.postTo(r.cfg.ReadURL, path, v)
+	return err == nil && status == want
+}
+
 func (r *runner) expectGet(ctx context.Context, path string) bool {
 	status, _, err := r.get(ctx, path)
+	return err == nil && status == http.StatusOK
+}
+
+// expectGetRead GETs from the read daemon (ReadURL).
+func (r *runner) expectGetRead(_ context.Context, path string) bool {
+	status, _, err := r.getFrom(r.cfg.ReadURL, path)
 	return err == nil && status == http.StatusOK
 }

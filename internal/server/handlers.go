@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"ckprivacy/docs"
+	"ckprivacy/internal/anonymize"
 	"ckprivacy/internal/bucket"
 	"ckprivacy/internal/core"
 	"ckprivacy/internal/dataload"
@@ -63,6 +64,16 @@ func errorCode(status int, err error) string {
 		// of space, "persist_failed" for anything else. Checked before the
 		// status switch so the 503 does not read as "overloaded".
 		return persistCodeOf(err)
+	case errors.Is(err, errReadOnly):
+		return "read_only"
+	case errors.Is(err, errNotReady):
+		return "not_ready"
+	case errors.Is(err, errWALSuperseded):
+		return "wal_superseded"
+	case errors.Is(err, ErrReplicaDiverged):
+		// A diverged replica dataset refuses reads; checked before the
+		// status switch so the 503 does not read as "overloaded".
+		return "replica_diverged"
 	}
 	switch status {
 	case http.StatusBadRequest:
@@ -176,6 +187,9 @@ type datasetInfo struct {
 	// (registered fresh), "snapshot" (loaded from a snapshot with no WAL
 	// tail) or "wal_replay" (snapshot plus replayed WAL records).
 	Recovered string `json:"recovered"`
+	// Replication is the follower-side replication status (lag, applied
+	// position, pinned versions); absent on a leader.
+	Replication *replicationInfo `json:"replication,omitempty"`
 }
 
 func describe(name string, ds *dataset) datasetInfo {
@@ -201,6 +215,7 @@ func describe(name string, ds *dataset) datasetInfo {
 		Encoded:           encoding.Enabled,
 		DictCardinalities: encoding.Cardinalities,
 		Recovered:         ds.recovered,
+		Replication:       describeReplication(ds),
 	}
 	if ds.persist != nil {
 		info.Persisted = true
@@ -210,6 +225,9 @@ func describe(name string, ds *dataset) datasetInfo {
 }
 
 func (s *Server) handleRegisterDataset(w http.ResponseWriter, r *http.Request) {
+	if s.rejectReadOnly(w) {
+		return
+	}
 	var req registerDatasetRequest
 	if err := s.readJSON(w, r, &req); err != nil {
 		writeHTTPError(w, err)
@@ -327,6 +345,9 @@ type appendRowsResponse struct {
 }
 
 func (s *Server) handleAppendRows(w http.ResponseWriter, r *http.Request) {
+	if s.rejectReadOnly(w) {
+		return
+	}
 	name := r.PathValue("name")
 	ds, ok := s.registry.get(name)
 	if !ok {
@@ -439,17 +460,26 @@ func writeHTTPError(w http.ResponseWriter, err error) {
 // resolve materializes the source. For dataset sources the bucketization
 // comes out of the dataset's warm cache, pinned to one version whose
 // number is returned (responses echo it); ds is nil and version 0 for
-// inline groups.
-func (s *Server) resolve(src bucketizationSource) (*bucket.Bucketization, *dataset, int64, error) {
+// inline groups. pin, when non-zero (?version=), selects a retained
+// historical version: on a follower any pinned version, on a leader only
+// the current one; an unretained version is a 404.
+func (s *Server) resolve(src bucketizationSource, pin int64) (*bucket.Bucketization, *dataset, int64, error) {
 	switch {
 	case src.Dataset != "" && src.Groups != nil:
 		return nil, nil, 0, badRequest("dataset and groups are mutually exclusive")
 	case len(src.Groups) > 0 && len(src.Levels) > 0:
 		return nil, nil, 0, badRequest("levels only apply to a registered dataset, not inline groups")
+	case pin != 0 && src.Dataset == "":
+		return nil, nil, 0, badRequest("version pinning requires a registered dataset")
 	case src.Dataset != "":
 		ds, ok := s.registry.get(src.Dataset)
 		if !ok {
 			return nil, nil, 0, &httpError{http.StatusNotFound, fmt.Errorf("dataset %q not registered", src.Dataset)}
+		}
+		if ds.repl != nil {
+			if derr := ds.repl.divergedErr(); derr != nil {
+				return nil, nil, 0, &httpError{http.StatusServiceUnavailable, derr}
+			}
 		}
 		levels := src.Levels
 		if len(levels) == 0 {
@@ -460,6 +490,17 @@ func (s *Server) resolve(src bucketizationSource) (*bucket.Bucketization, *datas
 			return nil, nil, 0, badRequest("%v", err)
 		}
 		snap := ds.problem.Snapshot()
+		if pin != 0 && pin != snap.Version() {
+			pinned, ok := (*anonymize.Snapshot)(nil), false
+			if ds.pins != nil {
+				pinned, ok = ds.pins.get(pin)
+			}
+			if !ok {
+				return nil, nil, 0, &httpError{http.StatusNotFound,
+					fmt.Errorf("dataset %q has no pinned version %d (current %d)", src.Dataset, pin, snap.Version())}
+			}
+			snap = pinned
+		}
 		bz, err := snap.Bucketize(node)
 		if err != nil {
 			return nil, nil, 0, err
@@ -537,6 +578,11 @@ func (s *Server) handleDisclosure(w http.ResponseWriter, r *http.Request) {
 		writeHTTPError(w, err)
 		return
 	}
+	pin, err := parsePinnedVersion(r)
+	if err != nil {
+		writeHTTPError(w, err)
+		return
+	}
 	release, ok := s.acquireGate(w, r)
 	if !ok {
 		return
@@ -551,7 +597,7 @@ func (s *Server) handleDisclosure(w http.ResponseWriter, r *http.Request) {
 		eng = s.inline
 	}
 	begin := time.Now()
-	bz, ds, version, err := s.resolve(req.bucketizationSource)
+	bz, ds, version, err := s.resolve(req.bucketizationSource, pin)
 	if err != nil {
 		writeHTTPError(w, err)
 		return
@@ -698,13 +744,18 @@ func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
 		writeHTTPError(w, err)
 		return
 	}
+	pin, err := parsePinnedVersion(r)
+	if err != nil {
+		writeHTTPError(w, err)
+		return
+	}
 	release, ok := s.acquireGate(w, r)
 	if !ok {
 		return
 	}
 	defer release()
 	begin := time.Now()
-	bz, _, version, err := s.resolve(req.bucketizationSource)
+	bz, _, version, err := s.resolve(req.bucketizationSource, pin)
 	if err != nil {
 		writeHTTPError(w, err)
 		return
@@ -783,13 +834,18 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 			fmt.Errorf("samples %d above the server's limit %d", samples, s.cfg.MaxSamples))
 		return
 	}
+	pin, err := parsePinnedVersion(r)
+	if err != nil {
+		writeHTTPError(w, err)
+		return
+	}
 	release, ok := s.acquireGate(w, r)
 	if !ok {
 		return
 	}
 	defer release()
 	begin := time.Now()
-	bz, ds, version, err := s.resolve(req.bucketizationSource)
+	bz, ds, version, err := s.resolve(req.bucketizationSource, pin)
 	if err != nil {
 		writeHTTPError(w, err)
 		return

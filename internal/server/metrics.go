@@ -259,6 +259,61 @@ func (m *metrics) writeTo(w io.Writer, s *Server) {
 		}
 	}
 
+	// Replication gauges for follower datasets: applied position, leader
+	// position and the resulting lag.
+	replicas := make([]namedDataset, 0, len(infos))
+	for _, info := range infos {
+		if info.ds.repl != nil {
+			replicas = append(replicas, info)
+		}
+	}
+	if len(replicas) > 0 {
+		type replRow struct {
+			name string
+			pr   ReplicaProgress
+			lag  float64
+		}
+		rows := make([]replRow, len(replicas))
+		for i, info := range replicas {
+			pr, lag, _ := info.ds.repl.status()
+			rows[i] = replRow{info.name, pr, lag}
+		}
+		fmt.Fprintln(w, "# HELP ckprivacyd_replica_lag_records WAL records the leader has committed that this follower has not applied.")
+		fmt.Fprintln(w, "# TYPE ckprivacyd_replica_lag_records gauge")
+		for _, row := range rows {
+			fmt.Fprintf(w, "ckprivacyd_replica_lag_records{dataset=%q} %d\n", row.name, row.pr.lagRecords())
+		}
+		fmt.Fprintln(w, "# HELP ckprivacyd_replica_lag_seconds How long the follower has been behind the leader; 0 when caught up.")
+		fmt.Fprintln(w, "# TYPE ckprivacyd_replica_lag_seconds gauge")
+		for _, row := range rows {
+			fmt.Fprintf(w, "ckprivacyd_replica_lag_seconds{dataset=%q} %g\n", row.name, row.lag)
+		}
+		fmt.Fprintln(w, "# HELP ckprivacyd_replica_applied_version Dataset version the follower has applied.")
+		fmt.Fprintln(w, "# TYPE ckprivacyd_replica_applied_version gauge")
+		for _, row := range rows {
+			fmt.Fprintf(w, "ckprivacyd_replica_applied_version{dataset=%q} %d\n", row.name, row.pr.AppliedVersion)
+		}
+		fmt.Fprintln(w, "# HELP ckprivacyd_replica_applied_offset Leader WAL byte offset the follower has applied through.")
+		fmt.Fprintln(w, "# TYPE ckprivacyd_replica_applied_offset gauge")
+		for _, row := range rows {
+			fmt.Fprintf(w, "ckprivacyd_replica_applied_offset{dataset=%q} %d\n", row.name, row.pr.AppliedOffset)
+		}
+		fmt.Fprintln(w, "# HELP ckprivacyd_replica_leader_offset Leader committed WAL byte size as of the follower's latest fetch.")
+		fmt.Fprintln(w, "# TYPE ckprivacyd_replica_leader_offset gauge")
+		for _, row := range rows {
+			fmt.Fprintf(w, "ckprivacyd_replica_leader_offset{dataset=%q} %d\n", row.name, row.pr.LeaderCommitted)
+		}
+	}
+	if s.cfg.ReadOnly {
+		ready := 0
+		if s.ready.Load() {
+			ready = 1
+		}
+		fmt.Fprintln(w, "# HELP ckprivacyd_replica_ready Whether the follower has completed initial catch-up (mirrors /readyz).")
+		fmt.Fprintln(w, "# TYPE ckprivacyd_replica_ready gauge")
+		fmt.Fprintf(w, "ckprivacyd_replica_ready %d\n", ready)
+	}
+
 	if boot, ok := s.bootSeconds.Load().(float64); ok {
 		fmt.Fprintln(w, "# HELP ckprivacyd_boot_seconds Daemon startup duration (store recovery and preloads included).")
 		fmt.Fprintln(w, "# TYPE ckprivacyd_boot_seconds gauge")

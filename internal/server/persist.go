@@ -299,6 +299,43 @@ func (s *Server) RecoverAll() (RecoveryStats, error) {
 	return stats, nil
 }
 
+// rebuildProblem reconstructs a dataset's bundle and long-lived problem
+// from a decoded snapshot: source descriptor parsed, schema revalidated,
+// columns mounted onto the columnar substrate without re-encoding
+// (table.NewEncodedFromParts). Shared by boot recovery and replica
+// snapshot install.
+func (s *Server) rebuildProblem(name string, sd *store.SnapshotData) (*dataload.Bundle, *anonymize.Problem, error) {
+	src, err := dataload.ParseSource(sd.Source)
+	if err != nil {
+		return nil, nil, err
+	}
+	schema, err := dataload.SourceSchema(src)
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(sd.Attrs) != len(schema.Attrs) {
+		return nil, nil, fmt.Errorf("snapshot has %d attributes, source schema has %d", len(sd.Attrs), len(schema.Attrs))
+	}
+	for i, want := range sd.Attrs {
+		if got := schema.Attrs[i].Name; got != want {
+			return nil, nil, fmt.Errorf("snapshot attribute %d is %q, source schema says %q", i, want, got)
+		}
+	}
+	enc, err := table.NewEncodedFromParts(schema, sd.Dicts, sd.Cols)
+	if err != nil {
+		return nil, nil, err
+	}
+	b, err := dataload.FromSource(name, src, enc.Table)
+	if err != nil {
+		return nil, nil, err
+	}
+	p, err := anonymize.NewProblemFromEncoded(enc, b.Hierarchies, b.QI, sd.Version, s.cfg.problemOptions())
+	if err != nil {
+		return nil, nil, err
+	}
+	return b, p, nil
+}
+
 // recoverDataset rebuilds one dataset from its snapshot + WAL tail.
 func (s *Server) recoverDataset(name string) (replayed int, err error) {
 	begin := time.Now()
@@ -312,33 +349,17 @@ func (s *Server) recoverDataset(name string) (replayed int, err error) {
 		}
 	}()
 
-	src, err := dataload.ParseSource(sd.Source)
+	b, p, err := s.rebuildProblem(name, sd)
 	if err != nil {
 		return 0, err
 	}
-	schema, err := dataload.SourceSchema(src)
-	if err != nil {
-		return 0, err
-	}
-	if len(sd.Attrs) != len(schema.Attrs) {
-		return 0, fmt.Errorf("snapshot has %d attributes, source schema has %d", len(sd.Attrs), len(schema.Attrs))
-	}
-	for i, want := range sd.Attrs {
-		if got := schema.Attrs[i].Name; got != want {
-			return 0, fmt.Errorf("snapshot attribute %d is %q, source schema says %q", i, want, got)
-		}
-	}
-	enc, err := table.NewEncodedFromParts(schema, sd.Dicts, sd.Cols)
-	if err != nil {
-		return 0, err
-	}
-	b, err := dataload.FromSource(name, src, enc.Table)
-	if err != nil {
-		return 0, err
-	}
-	p, err := anonymize.NewProblemFromEncoded(enc, b.Hierarchies, b.QI, sd.Version, s.cfg.problemOptions())
-	if err != nil {
-		return 0, err
+
+	// On a follower, boot recovery doubles as replication catch-up from the
+	// local store: capture the same version pins live tailing would have.
+	var pins *versionPins
+	if s.cfg.ReadOnly {
+		pins = newVersionPins(s.cfg.MaxPinnedVersions)
+		pins.pin(p.Snapshot())
 	}
 
 	// Replay the WAL tail: appends first (in order, verifying each lands
@@ -361,6 +382,9 @@ func (s *Server) recoverDataset(name string) (replayed int, err error) {
 				return 0, fmt.Errorf("replayed append produced version %d, wal record says %d",
 					res.Version, rec.Append.Version)
 			}
+			if pins != nil {
+				pins.pin(p.Snapshot())
+			}
 			replayed++
 		case rec.Release != nil:
 			relRecs = append(relRecs, *rec.Release)
@@ -374,9 +398,18 @@ func (s *Server) recoverDataset(name string) (replayed int, err error) {
 		releases:  releaseLog{max: s.cfg.MaxReleases},
 		persist:   &datasetStore{log: dl},
 		recovered: "snapshot",
+		pins:      pins,
 	}
 	if len(recs) > 0 {
 		ds.recovered = "wal_replay"
+	}
+	if s.cfg.ReadOnly {
+		_, offset, records := dl.Committed()
+		ds.repl = newReplicaState(ReplicaProgress{
+			AppliedVersion: p.Version(),
+			AppliedOffset:  offset,
+			AppliedRecords: records,
+		})
 	}
 	if err := s.restoreReleases(ds, sd.Releases, relRecs); err != nil {
 		return 0, err

@@ -40,9 +40,15 @@ type dataset struct {
 	// fell back to the legacy string path.
 	persist *datasetStore
 	// recovered says how this dataset came to exist in this process:
-	// "cold" (registered fresh), "snapshot" (loaded with no WAL tail) or
-	// "wal_replay" (snapshot plus replayed appends/releases).
+	// "cold" (registered fresh), "snapshot" (loaded with no WAL tail),
+	// "wal_replay" (snapshot plus replayed appends/releases) or "replica"
+	// (installed from a leader's shipped snapshot).
 	recovered string
+	// pins retains historical version snapshots for ?version= reads; nil on
+	// a leader (only followers pin).
+	pins *versionPins
+	// repl tracks replication progress and health; nil on a leader.
+	repl *replicaState
 }
 
 // registry maps dataset names to their warm state.
@@ -97,6 +103,23 @@ func (r *registry) insert(name string, ds *dataset) error {
 	defer r.mu.Unlock()
 	if err := r.capacityLocked(name); err != nil {
 		return err
+	}
+	r.byName[name] = ds
+	return nil
+}
+
+// replace installs ds under name, overwriting any existing entry — the
+// follower's snapshot (re-)bootstrap path, where a wal_superseded restart
+// swaps a fresh install over the stale one. Capacity applies only to new
+// names.
+func (r *registry) replace(name string, ds *dataset) error {
+	if !nameRE.MatchString(name) {
+		return fmt.Errorf("invalid dataset name %q (want [a-zA-Z0-9._-], max 64 chars)", name)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, exists := r.byName[name]; !exists && len(r.byName) >= r.max {
+		return fmt.Errorf("registry full (%d datasets)", r.max)
 	}
 	r.byName[name] = ds
 	return nil

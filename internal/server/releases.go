@@ -187,6 +187,9 @@ type releasesResponse struct {
 // ---- handlers ----
 
 func (s *Server) handleCreateRelease(w http.ResponseWriter, r *http.Request) {
+	if s.rejectReadOnly(w) {
+		return
+	}
 	name := r.PathValue("name")
 	ds, ok := s.registry.get(name)
 	if !ok {

@@ -1,0 +1,558 @@
+package server
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"reflect"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"ckprivacy/internal/store"
+)
+
+// walCoordinates reads the leader's shipping coordinates for one dataset
+// off the replication listing.
+func walCoordinates(t *testing.T, base, name string) replicationDatasetInfo {
+	t.Helper()
+	var list struct {
+		Datasets []replicationDatasetInfo `json:"datasets"`
+	}
+	if code := getJSON(t, base+"/v1/replication/datasets", &list); code != http.StatusOK {
+		t.Fatalf("replication datasets = %d", code)
+	}
+	for _, d := range list.Datasets {
+		if d.Name == name {
+			return d
+		}
+	}
+	t.Fatalf("dataset %q not in replication listing: %+v", name, list.Datasets)
+	return replicationDatasetInfo{}
+}
+
+// rawGet GETs url, returning status, headers and body.
+func rawGet(t *testing.T, url string) (int, http.Header, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, resp.Header, body
+}
+
+func headerInt64(t *testing.T, h http.Header, key string) int64 {
+	t.Helper()
+	v, err := strconv.ParseInt(h.Get(key), 10, 64)
+	if err != nil {
+		t.Fatalf("header %s = %q: %v", key, h.Get(key), err)
+	}
+	return v
+}
+
+// TestReplicationEndpointsLeader drives the leader's three shipping
+// endpoints over a persisted dataset: the listing's WAL coordinates, the
+// raw snapshot bytes, and the committed WAL prefix decoded with the
+// store's RecordScanner.
+func TestReplicationEndpointsLeader(t *testing.T) {
+	_, base := newPersistedServer(t, t.TempDir(), false)
+	registerHospital(t, base, "h")
+	appendRowsOK(t, base, "h", hospitalRows())
+	createReleaseOK(t, base, "h")
+
+	info := walCoordinates(t, base, "h")
+	if info.WALRecords != 2 {
+		t.Fatalf("wal_records = %d, want 2 (one append, one release)", info.WALRecords)
+	}
+	if info.WALCommitted <= store.WALHeaderLen {
+		t.Fatalf("wal_committed = %d, want past the %d-byte header", info.WALCommitted, store.WALHeaderLen)
+	}
+	if info.Version != 2 || info.SnapshotVersion != 1 {
+		t.Errorf("version/snapshot_version = %d/%d, want 2/1", info.Version, info.SnapshotVersion)
+	}
+
+	// Snapshot: raw CKPS bytes, decodable, coordinates in headers.
+	code, hdr, raw := rawGet(t, base+"/v1/replication/h/snapshot")
+	if code != http.StatusOK {
+		t.Fatalf("snapshot = %d", code)
+	}
+	if ct := hdr.Get("Content-Type"); ct != "application/octet-stream" {
+		t.Errorf("snapshot content type = %q", ct)
+	}
+	sd, err := store.DecodeSnapshot(raw)
+	if err != nil {
+		t.Fatalf("snapshot bytes do not decode: %v", err)
+	}
+	if got := headerInt64(t, hdr, headerReplicationBase); got != sd.Version || got != info.SnapshotVersion {
+		t.Errorf("snapshot base header %d, decoded version %d, listing %d", got, sd.Version, info.SnapshotVersion)
+	}
+	if got := headerInt64(t, hdr, headerReplicationVersion); got != info.Version {
+		t.Errorf("snapshot version header = %d, want %d", got, info.Version)
+	}
+
+	// Full WAL from offset 0: the scanner must decode the header plus
+	// exactly the committed records and land on the committed size.
+	code, hdr, stream := rawGet(t, base+"/v1/replication/h/wal?from=0")
+	if code != http.StatusOK {
+		t.Fatalf("wal from=0 = %d", code)
+	}
+	if got := headerInt64(t, hdr, headerReplicationCommitted); got != info.WALCommitted {
+		t.Errorf("committed header = %d, listing said %d", got, info.WALCommitted)
+	}
+	sc, err := store.NewRecordScanner(info.SnapshotVersion, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc.Feed(stream)
+	var appends, releases int
+	for {
+		rec, ok, err := sc.Next()
+		if err != nil {
+			t.Fatalf("scanning shipped wal: %v", err)
+		}
+		if !ok {
+			break
+		}
+		switch {
+		case rec.Append != nil:
+			appends++
+			if rec.Append.Version != 2 {
+				t.Errorf("append record version = %d, want 2", rec.Append.Version)
+			}
+		case rec.Release != nil:
+			releases++
+		}
+	}
+	if appends != 1 || releases != 1 {
+		t.Errorf("decoded %d appends / %d releases, want 1 / 1", appends, releases)
+	}
+	if sc.Offset() != info.WALCommitted || sc.Buffered() != 0 {
+		t.Errorf("scanner ended at %d with %d buffered, want %d / 0", sc.Offset(), sc.Buffered(), info.WALCommitted)
+	}
+
+	// At the tip with no wait: 200 with an empty body.
+	code, _, stream = rawGet(t, base+"/v1/replication/h/wal?from="+strconv.FormatInt(info.WALCommitted, 10))
+	if code != http.StatusOK || len(stream) != 0 {
+		t.Errorf("wal at tip = %d with %d bytes, want 200 empty", code, len(stream))
+	}
+}
+
+// TestReplicationWALErrors pins the typed failure surface of the WAL
+// endpoint: bad cursors are 400, a superseded generation or a cursor past
+// the committed prefix is 409 wal_superseded, unknown and unpersisted
+// datasets are 404.
+func TestReplicationWALErrors(t *testing.T) {
+	_, base := newPersistedServer(t, t.TempDir(), false)
+	registerHospital(t, base, "h")
+	info := walCoordinates(t, base, "h")
+
+	for _, bad := range []string{"from=abc", "from=-1", "from=7", ""} {
+		var e errorBody
+		if code := getJSON(t, base+"/v1/replication/h/wal?"+bad, &e); code != http.StatusBadRequest {
+			t.Errorf("wal?%s = %d, want 400 (%s)", bad, code, e.Error)
+		}
+	}
+
+	// A cursor past the committed prefix and a stale generation both demand
+	// a re-snapshot.
+	for _, q := range []string{
+		"from=" + strconv.FormatInt(info.WALCommitted+64, 10),
+		"from=0&base=999",
+	} {
+		var e errorBody
+		if code := getJSON(t, base+"/v1/replication/h/wal?"+q, &e); code != http.StatusConflict {
+			t.Fatalf("wal?%s = %d, want 409", q, code)
+		}
+		if e.Code != "wal_superseded" {
+			t.Errorf("wal?%s code = %q, want wal_superseded", q, e.Code)
+		}
+		if b, ok := detailInt(e, "base"); !ok || int64(b) != info.SnapshotVersion {
+			t.Errorf("wal?%s detail base = %v, want %d", q, e.Detail["base"], info.SnapshotVersion)
+		}
+	}
+
+	if code := getJSON(t, base+"/v1/replication/ghost/wal?from=0", nil); code != http.StatusNotFound {
+		t.Errorf("wal for unknown dataset = %d, want 404", code)
+	}
+	if code := getJSON(t, base+"/v1/replication/ghost/snapshot", nil); code != http.StatusNotFound {
+		t.Errorf("snapshot for unknown dataset = %d, want 404", code)
+	}
+
+	// An in-memory server has nothing durable to ship: empty listing, 404s.
+	_, ts := newTestServer(t, Config{})
+	registerHospital(t, ts.URL, "mem")
+	var list struct {
+		Datasets []replicationDatasetInfo `json:"datasets"`
+	}
+	if code := getJSON(t, ts.URL+"/v1/replication/datasets", &list); code != http.StatusOK || len(list.Datasets) != 0 {
+		t.Errorf("in-memory replication listing = %d with %d datasets, want 200 empty", code, len(list.Datasets))
+	}
+	if code := getJSON(t, ts.URL+"/v1/replication/mem/snapshot", nil); code != http.StatusNotFound {
+		t.Errorf("snapshot of unpersisted dataset = %d, want 404", code)
+	}
+}
+
+// TestReplicationWALLongPoll parks a tailing request at the committed tip
+// and expects a concurrent append to release it with the new bytes well
+// before the wait budget expires.
+func TestReplicationWALLongPoll(t *testing.T) {
+	_, base := newPersistedServer(t, t.TempDir(), false)
+	registerHospital(t, base, "h")
+	info := walCoordinates(t, base, "h")
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		time.Sleep(50 * time.Millisecond)
+		appendRowsOK(t, base, "h", hospitalRows())
+	}()
+
+	begin := time.Now()
+	code, hdr, stream := rawGet(t, base+"/v1/replication/h/wal?from="+
+		strconv.FormatInt(info.WALCommitted, 10)+"&base="+strconv.FormatInt(info.SnapshotVersion, 10)+"&wait_ms=10000")
+	elapsed := time.Since(begin)
+	<-done
+	if code != http.StatusOK || len(stream) == 0 {
+		t.Fatalf("long-poll = %d with %d bytes, want 200 with the append record", code, len(stream))
+	}
+	if elapsed > 5*time.Second {
+		t.Errorf("long-poll took %s; the commit notification did not release it", elapsed)
+	}
+	if got := headerInt64(t, hdr, headerReplicationCommitted); got != info.WALCommitted+int64(len(stream)) {
+		t.Errorf("committed header %d != cursor %d + %d returned bytes", got, info.WALCommitted, len(stream))
+	}
+	sc, err := store.NewRecordScanner(info.SnapshotVersion, info.WALCommitted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc.Feed(stream)
+	rec, ok, err := sc.Next()
+	if err != nil || !ok || rec.Append == nil {
+		t.Fatalf("long-polled bytes did not decode to the append record: ok=%v err=%v", ok, err)
+	}
+}
+
+// shipDataset copies one dataset leader → follower the way the replica
+// package does, but in-process: install the snapshot bytes, then scan the
+// committed WAL and apply every record.
+func shipDataset(t *testing.T, leader, follower *Server, name string) {
+	t.Helper()
+	ds, ok := leader.registry.get(name)
+	if !ok || ds.persist == nil {
+		t.Fatalf("leader dataset %q is not persisted", name)
+	}
+	raw, snapVersion, err := ds.persist.log.SnapshotBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := follower.InstallReplicaSnapshot(name, raw); err != nil {
+		t.Fatalf("install snapshot: %v", err)
+	}
+	base, committed, _ := ds.persist.log.Committed()
+	if base != snapVersion {
+		t.Fatalf("wal base %d != snapshot version %d", base, snapVersion)
+	}
+	data, _, err := ds.persist.log.ReadCommitted(store.WALHeaderLen, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := store.NewRecordScanner(base, store.WALHeaderLen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc.Feed(data)
+	records := 0
+	for {
+		rec, ok, err := sc.Next()
+		if err != nil {
+			t.Fatalf("scanning leader wal: %v", err)
+		}
+		if !ok {
+			break
+		}
+		if err := follower.ApplyReplicated(name, rec); err != nil {
+			t.Fatalf("applying record %d: %v", records, err)
+		}
+		records++
+	}
+	follower.SetReplicaProgress(name, ReplicaProgress{
+		AppliedVersion:  follower.DatasetVersion(name),
+		AppliedOffset:   sc.Offset(),
+		AppliedRecords:  records,
+		LeaderCommitted: committed,
+		LeaderRecords:   records,
+		CaughtUp:        true,
+	})
+}
+
+// TestFollowerPinnedVersionReads is the follower HTTP read surface: the
+// current version answers match the leader's, every historical version is
+// servable via ?version= with the exact answer the leader gave at that
+// version, and the pin-miss / bad-pin paths are typed.
+func TestFollowerPinnedVersionReads(t *testing.T) {
+	leaderSrv, leaderBase := newPersistedServer(t, t.TempDir(), false)
+	registerHospital(t, leaderBase, "h")
+
+	// byVersion[v] is the leader's disclosure answer at version v, captured
+	// synchronously while the traffic ran.
+	discAt := func(base string, query string) map[string]any {
+		var disc map[string]any
+		if code := postJSON(t, base+"/v1/disclosure"+query, map[string]any{"dataset": "h", "k": 2}, &disc); code != http.StatusOK {
+			t.Fatalf("disclosure%s = %d: %v", query, code, disc)
+		}
+		delete(disc, "elapsed_ms")
+		return disc
+	}
+	byVersion := map[int64]map[string]any{1: discAt(leaderBase, "")}
+	appendRowsOK(t, leaderBase, "h", hospitalRows())
+	byVersion[2] = discAt(leaderBase, "")
+	createReleaseOK(t, leaderBase, "h")
+	appendRowsOK(t, leaderBase, "h", [][]string{{"14870", "44", "F", "heart-disease"}})
+	byVersion[3] = discAt(leaderBase, "")
+
+	followerSrv, followerTS := newTestServer(t, Config{ReadOnly: true})
+	shipDataset(t, leaderSrv, followerSrv, "h")
+
+	// Current reads match the leader; each historical version pins exactly.
+	for v, want := range byVersion {
+		got := discAt(followerTS.URL, "?version="+strconv.FormatInt(v, 10))
+		for key, wv := range want {
+			if gv, ok := got[key]; !ok || !jsonEqual(wv, gv) {
+				t.Errorf("version %d field %q: follower %v != leader %v", v, key, gv, wv)
+			}
+		}
+	}
+	if got, want := discAt(followerTS.URL, ""), byVersion[3]; !jsonEqual(got["disclosure"], want["disclosure"]) {
+		t.Errorf("current follower disclosure %v != leader %v", got["disclosure"], want["disclosure"])
+	}
+
+	// /v1/check honors the same pin.
+	var chk checkResponse
+	if code := postJSON(t, followerTS.URL+"/v1/check?version=1",
+		map[string]any{"dataset": "h", "criterion": "ck", "c": 0.7, "k": 1}, &chk); code != http.StatusOK {
+		t.Fatalf("pinned check = %d", code)
+	}
+	if chk.Version != 1 {
+		t.Errorf("pinned check answered at version %d, want 1", chk.Version)
+	}
+
+	// Pin misses and malformed pins are typed.
+	var e errorBody
+	if code := postJSON(t, followerTS.URL+"/v1/disclosure?version=999",
+		map[string]any{"dataset": "h", "k": 1}, &e); code != http.StatusNotFound {
+		t.Errorf("absent pin = %d, want 404 (%s)", code, e.Error)
+	}
+	if code := postJSON(t, followerTS.URL+"/v1/disclosure?version=0",
+		map[string]any{"dataset": "h", "k": 1}, &e); code != http.StatusBadRequest {
+		t.Errorf("version=0 = %d, want 400", code)
+	}
+	if code := postJSON(t, followerTS.URL+"/v1/disclosure?version=2",
+		map[string]any{"groups": [][]string{{"a", "b"}}, "k": 1}, &e); code != http.StatusBadRequest {
+		t.Errorf("pin on inline groups = %d, want 400", code)
+	}
+
+	// The dataset listing carries the replication block.
+	var info struct {
+		Replication *replicationInfo `json:"replication"`
+	}
+	if code := getJSON(t, followerTS.URL+"/v1/datasets/h", &info); code != http.StatusOK || info.Replication == nil {
+		t.Fatalf("follower dataset info lacks replication block (code %d)", code)
+	}
+	if !info.Replication.CaughtUp || info.Replication.LagRecords != 0 {
+		t.Errorf("replication block = %+v, want caught up with 0 lag", info.Replication)
+	}
+	if info.Replication.PinnedVersions != 3 {
+		t.Errorf("pinned_versions = %d, want 3", info.Replication.PinnedVersions)
+	}
+}
+
+// jsonEqual compares two decoded-JSON values structurally.
+func jsonEqual(a, b any) bool {
+	return reflect.DeepEqual(a, b)
+}
+
+// TestFollowerRejectsWrites: every mutating endpoint on a follower answers
+// 403 with the read_only code before touching anything.
+func TestFollowerRejectsWrites(t *testing.T) {
+	leaderSrv, leaderBase := newPersistedServer(t, t.TempDir(), false)
+	registerHospital(t, leaderBase, "h")
+	followerSrv, followerTS := newTestServer(t, Config{ReadOnly: true})
+	shipDataset(t, leaderSrv, followerSrv, "h")
+
+	for _, w := range []struct {
+		path string
+		body map[string]any
+	}{
+		{"/v1/datasets", map[string]any{"name": "x", "builtin": "hospital"}},
+		{"/v1/datasets/h/rows", map[string]any{"rows": hospitalRows()}},
+		{"/v1/datasets/h/releases", map[string]any{}},
+	} {
+		resp := rawPost(t, followerTS.URL+w.path, w.body)
+		if resp.status != http.StatusForbidden || resp.body.Code != "read_only" {
+			t.Errorf("POST %s on follower = %d/%q, want 403/read_only", w.path, resp.status, resp.body.Code)
+		}
+	}
+	// Nothing was applied: the version is unchanged and no dataset appeared.
+	if v := followerSrv.DatasetVersion("h"); v != 1 {
+		t.Errorf("follower version moved to %d after rejected writes", v)
+	}
+	if code := getJSON(t, followerTS.URL+"/v1/datasets/x", nil); code != http.StatusNotFound {
+		t.Errorf("rejected register still created dataset: %d", code)
+	}
+}
+
+// TestFollowerReadinessAndMetrics: /readyz is a 503 not_ready gate until
+// catch-up flips it, and the replica gauge families are on /metrics.
+func TestFollowerReadinessAndMetrics(t *testing.T) {
+	leaderSrv, leaderBase := newPersistedServer(t, t.TempDir(), false)
+	registerHospital(t, leaderBase, "h")
+	appendRowsOK(t, leaderBase, "h", hospitalRows())
+	followerSrv, followerTS := newTestServer(t, Config{ReadOnly: true})
+
+	var e errorBody
+	resp, err := http.Get(followerTS.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	retryAfter := resp.Header.Get("Retry-After")
+	code := resp.StatusCode
+	decodeBody(t, resp, &e)
+	if code != http.StatusServiceUnavailable || e.Code != "not_ready" {
+		t.Fatalf("/readyz before catch-up = %d/%q, want 503/not_ready", code, e.Code)
+	}
+	if retryAfter == "" {
+		t.Error("not_ready response lacks Retry-After")
+	}
+
+	shipDataset(t, leaderSrv, followerSrv, "h")
+	followerSrv.SetReady(true)
+	var ready struct {
+		Status   string `json:"status"`
+		ReadOnly bool   `json:"read_only"`
+	}
+	if code := getJSON(t, followerTS.URL+"/readyz", &ready); code != http.StatusOK || ready.Status != "ready" || !ready.ReadOnly {
+		t.Errorf("/readyz after catch-up = %d %+v, want 200 ready read_only", code, ready)
+	}
+
+	metrics := getText(t, followerTS.URL+"/metrics")
+	for _, want := range []string{
+		`ckprivacyd_replica_lag_records{dataset="h"} 0`,
+		`ckprivacyd_replica_lag_seconds{dataset="h"} 0`,
+		`ckprivacyd_replica_applied_version{dataset="h"} 2`,
+		`ckprivacyd_replica_applied_offset{dataset="h"}`,
+		`ckprivacyd_replica_leader_offset{dataset="h"}`,
+		"ckprivacyd_replica_ready 1",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("follower metrics missing %q:\n%s", want, grepMetrics(metrics, "replica"))
+		}
+	}
+	// A leader never exposes the follower-only gauge.
+	leaderMetrics := getText(t, leaderBase+"/metrics")
+	if strings.Contains(leaderMetrics, "ckprivacyd_replica_ready") {
+		t.Error("leader metrics expose ckprivacyd_replica_ready")
+	}
+}
+
+// TestFollowerPinEviction bounds the pinned-version window: with
+// MaxPinnedVersions=2 only the two newest versions stay servable.
+func TestFollowerPinEviction(t *testing.T) {
+	leaderSrv, leaderBase := newPersistedServer(t, t.TempDir(), false)
+	registerHospital(t, leaderBase, "h")
+	appendRowsOK(t, leaderBase, "h", hospitalRows())
+	appendRowsOK(t, leaderBase, "h", [][]string{{"14870", "44", "F", "flu"}})
+	appendRowsOK(t, leaderBase, "h", [][]string{{"14871", "45", "M", "mumps"}})
+
+	followerSrv, followerTS := newTestServer(t, Config{ReadOnly: true, MaxPinnedVersions: 2})
+	shipDataset(t, leaderSrv, followerSrv, "h")
+
+	ds, _ := followerSrv.registry.get("h")
+	if n := ds.pins.count(); n != 2 {
+		t.Fatalf("pinned %d versions with a window of 2", n)
+	}
+	for v, wantCode := range map[int]int{1: 404, 2: 404, 3: 200, 4: 200} {
+		code := postJSON(t, followerTS.URL+"/v1/disclosure?version="+strconv.Itoa(v),
+			map[string]any{"dataset": "h", "k": 1}, nil)
+		if code != wantCode {
+			t.Errorf("pinned read at evicted/kept version %d = %d, want %d", v, code, wantCode)
+		}
+	}
+}
+
+// TestFollowerDivergenceStopsServing: a record that does not reproduce its
+// own version marks the dataset diverged, ApplyReplicated surfaces
+// ErrReplicaDiverged, and every subsequent read is 503 replica_diverged
+// instead of a divergent answer.
+func TestFollowerDivergenceStopsServing(t *testing.T) {
+	leaderSrv, leaderBase := newPersistedServer(t, t.TempDir(), false)
+	registerHospital(t, leaderBase, "h")
+	followerSrv, followerTS := newTestServer(t, Config{ReadOnly: true})
+	shipDataset(t, leaderSrv, followerSrv, "h")
+
+	// A forged append whose record names the wrong version: the in-memory
+	// apply would mint version 2, the record claims 7.
+	err := followerSrv.ApplyReplicated("h", store.Record{
+		Append: &store.AppendRecord{Version: 7, Rows: hospitalRows()},
+	})
+	if err == nil || !strings.Contains(err.Error(), "diverged") {
+		t.Fatalf("forged append error = %v, want divergence", err)
+	}
+
+	var e errorBody
+	if code := postJSON(t, followerTS.URL+"/v1/disclosure",
+		map[string]any{"dataset": "h", "k": 1}, &e); code != http.StatusServiceUnavailable {
+		t.Fatalf("read on diverged dataset = %d, want 503", code)
+	}
+	if e.Code != "replica_diverged" {
+		t.Errorf("diverged read code = %q, want replica_diverged", e.Code)
+	}
+	// The failure is also visible on the dataset listing.
+	var info struct {
+		Replication *replicationInfo `json:"replication"`
+	}
+	if code := getJSON(t, followerTS.URL+"/v1/datasets/h", &info); code != http.StatusOK ||
+		info.Replication == nil || !strings.Contains(info.Replication.Error, "diverged") {
+		t.Errorf("dataset info does not surface divergence: %+v", info.Replication)
+	}
+}
+
+// TestApplyReplicatedReleaseIndex: a replicated release must land exactly
+// on the next release index; skipping ahead is divergence.
+func TestApplyReplicatedReleaseIndex(t *testing.T) {
+	leaderSrv, leaderBase := newPersistedServer(t, t.TempDir(), false)
+	registerHospital(t, leaderBase, "h")
+	createReleaseOK(t, leaderBase, "h")
+	followerSrv, _ := newTestServer(t, Config{ReadOnly: true})
+	shipDataset(t, leaderSrv, followerSrv, "h")
+
+	ds, _ := leaderSrv.registry.get("h")
+	rel, _ := ds.releases.snapshot()
+	if len(rel) != 1 {
+		t.Fatalf("leader retains %d releases, want 1", len(rel))
+	}
+	rec := releaseToRecord(rel[0])
+	rec.Index = 5 // skip ahead: the follower's log expects index 1 next
+	err := followerSrv.ApplyReplicated("h", store.Record{Release: &rec})
+	if err == nil || !strings.Contains(err.Error(), "diverged") {
+		t.Fatalf("out-of-order release error = %v, want divergence", err)
+	}
+}
+
+// decodeBody decodes a response body into out and closes it.
+func decodeBody(t *testing.T, resp *http.Response, out any) {
+	t.Helper()
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(data, out); err != nil {
+		t.Fatalf("unmarshal %q: %v", data, err)
+	}
+}

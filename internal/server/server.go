@@ -79,6 +79,25 @@ type Config struct {
 	// appends a WAL record, and RecoverAll rebuilds the registry from disk
 	// at boot. Nil (the default) keeps the daemon fully in-memory.
 	Store *store.Manager
+	// ReadOnly makes the server a follower: mutating endpoints (register,
+	// append, release) are rejected with 403 code "read_only", /readyz
+	// reports 503 code "not_ready" until SetReady(true), and recovered or
+	// installed datasets retain pinned version snapshots for ?version=
+	// reads. internal/replica drives the state via InstallReplicaSnapshot /
+	// ApplyReplicated.
+	ReadOnly bool
+	// MaxPinnedVersions bounds how many historical version snapshots a
+	// follower dataset pins for ?version= reads; the oldest is evicted past
+	// the bound. Snapshots share structure, so the window is cheap.
+	// Default 128.
+	MaxPinnedVersions int
+	// ReplicationMaxBytes caps how many WAL bytes one replication fetch
+	// returns. Default 4 MiB.
+	ReplicationMaxBytes int64
+	// ReplicationMaxWait caps how long a WAL fetch may long-poll for the
+	// next commit (the wait_ms query parameter is clamped to it).
+	// Default 30s.
+	ReplicationMaxWait time.Duration
 	// MemoMaxBytes bounds every disclosure-engine memo the daemon runs:
 	// the shared engine for synchronous checks on registered datasets, the
 	// engine serving inline client-chosen bucketizations, and each
@@ -125,6 +144,15 @@ func (c Config) withDefaults() Config {
 	if c.MaxReleases <= 0 {
 		c.MaxReleases = 16
 	}
+	if c.MaxPinnedVersions <= 0 {
+		c.MaxPinnedVersions = 128
+	}
+	if c.ReplicationMaxBytes <= 0 {
+		c.ReplicationMaxBytes = 4 << 20
+	}
+	if c.ReplicationMaxWait <= 0 {
+		c.ReplicationMaxWait = 30 * time.Second
+	}
 	// SearchWorkers and ShardWorkers are passed through: anonymize.Options
 	// already treats values below 1 as one per CPU core. MemoMaxBytes is
 	// passed through: core.NewEngineWithConfig resolves 0 to its default
@@ -159,6 +187,9 @@ type Server struct {
 	// daemon-reported startup duration (0 until SetBootDuration).
 	store       *store.Manager
 	bootSeconds atomic.Value // float64
+	// ready gates /readyz: true from birth on a leader, flipped by the
+	// replication loop after initial catch-up on a follower.
+	ready atomic.Bool
 }
 
 // New builds a Server and starts its job workers.
@@ -180,6 +211,7 @@ func New(cfg Config) *Server {
 		store:    cfg.Store,
 	}
 	s.jobs = newJobManager(cfg.JobWorkers, cfg.JobQueueSize, cfg.JobHistory, s.metrics)
+	s.ready.Store(!cfg.ReadOnly)
 	s.routes()
 	return s
 }
@@ -250,8 +282,12 @@ func (s *Server) routes() {
 	handle("POST /v1/anonymize", s.handleAnonymize)
 	handle("GET /v1/jobs/{id}", s.handleGetJob)
 	handle("DELETE /v1/jobs/{id}", s.handleCancelJob)
+	handle("GET /v1/replication/datasets", s.handleReplicationDatasets)
+	handle("GET /v1/replication/{name}/snapshot", s.handleReplicationSnapshot)
+	handle("GET /v1/replication/{name}/wal", s.handleReplicationWAL)
 	handle("GET /v1/openapi.yaml", s.handleOpenAPI)
 	handle("GET /healthz", s.handleHealthz)
+	handle("GET /readyz", s.handleReadyz)
 	handle("GET /metrics", s.handleMetrics)
 }
 

@@ -109,6 +109,7 @@ type DatasetLog struct {
 	snapVersion int64 // version of the on-disk snapshot the WAL extends
 	w           *walWriter
 	records     int
+	notify      chan struct{} // closed+cleared on commit; see CommitNotify
 
 	lastCompaction time.Time
 	fsyncCount     int64
@@ -255,6 +256,7 @@ func (dl *DatasetLog) LogAppend(ar *AppendRecord) error {
 		return err
 	}
 	dl.records++
+	dl.notifyLocked()
 	return nil
 }
 
@@ -269,6 +271,7 @@ func (dl *DatasetLog) LogRelease(rr *ReleaseRecord) error {
 		return err
 	}
 	dl.records++
+	dl.notifyLocked()
 	return nil
 }
 
@@ -323,6 +326,7 @@ func (dl *DatasetLog) Compact(sd *SnapshotData) error {
 	dl.snapVersion = sd.Version
 	dl.records = 0
 	dl.lastCompaction = time.Now()
+	dl.notifyLocked()
 	if old != sd.Version {
 		if err := prune(dl.dir, sd.Version); err != nil {
 			return err
@@ -357,5 +361,6 @@ func (dl *DatasetLog) Close() error {
 	}
 	err := dl.w.close()
 	dl.w = nil
+	dl.notifyLocked() // wake long-poll waiters so they observe the close
 	return err
 }

@@ -386,6 +386,13 @@ func writeSnapshotFile(path string, sd *SnapshotData) error {
 	if err != nil {
 		return err
 	}
+	return writeFileAtomic(path, data)
+}
+
+// writeFileAtomic lands data at path via temp file + fsync + rename +
+// directory fsync — the atomic publication discipline snapshots use, also
+// applied to raw snapshot bytes a follower installs verbatim.
+func writeFileAtomic(path string, data []byte) error {
 	tmp := path + ".tmp"
 	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
 	if err != nil {

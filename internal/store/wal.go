@@ -118,6 +118,56 @@ func walHeader(version int64) []byte {
 	return binary.LittleEndian.AppendUint64(b, uint64(version))
 }
 
+// parseWALHeader validates the fixed file header and returns the base
+// snapshot version it names. Too short, wrong magic, or a format this
+// build does not read are all errors (ErrCorrupt / ErrFormatVersion).
+func parseWALHeader(b []byte) (int64, error) {
+	if len(b) < walHeaderLen {
+		return 0, corruptf("wal: file shorter than header")
+	}
+	if string(b[:4]) != walMagic {
+		return 0, corruptf("wal: bad magic")
+	}
+	if v := binary.LittleEndian.Uint32(b[4:]); v != FormatVersion {
+		return 0, fmt.Errorf("%w: wal format %d, this build reads %d", ErrFormatVersion, v, FormatVersion)
+	}
+	return int64(binary.LittleEndian.Uint64(b[8:])), nil
+}
+
+// scanRecord decodes the first record frame of b, which begins at
+// absolute WAL byte offset off (offsets appear in error text so corrupt
+// frames are locatable on disk). n == 0 with a nil error means the frame
+// is incomplete — torn by a crash, or simply not all shipped yet when b
+// is a stream prefix; the caller decides which. A complete frame whose
+// CRC or payload is wrong is ErrCorrupt.
+func scanRecord(b []byte, off int64) (rec Record, n int64, err error) {
+	if len(b) < 4+1 {
+		// Not even the length header and type landed.
+		return Record{}, 0, nil
+	}
+	plen := binary.LittleEndian.Uint32(b)
+	total := int64(4+1) + int64(plen) + 4
+	if int64(len(b)) < total {
+		// Fewer bytes than the length header promises.
+		return Record{}, 0, nil
+	}
+	typ := b[4]
+	payload := b[5 : 5+plen]
+	crc := crc32.NewIEEE()
+	crc.Write([]byte{typ})
+	crc.Write(payload)
+	if got := binary.LittleEndian.Uint32(b[5+plen:]); got != crc.Sum32() {
+		// The frame is complete but its bytes are wrong: corruption, not
+		// a torn write.
+		return Record{}, 0, corruptf("wal: record at offset %d CRC mismatch", off)
+	}
+	rec, err = decodeWALRecord(typ, payload)
+	if err != nil {
+		return Record{}, 0, fmt.Errorf("wal record at offset %d: %w", off, err)
+	}
+	return rec, total, nil
+}
+
 // readWAL parses a WAL file: header, then every complete record. It
 // returns the base snapshot version, the records, and the byte offset
 // just past the last complete record — a torn tail beyond it is the
@@ -128,49 +178,20 @@ func readWAL(path string) (base int64, recs []Record, good int64, err error) {
 	if err != nil {
 		return 0, nil, 0, err
 	}
-	if len(data) < walHeaderLen {
-		return 0, nil, 0, corruptf("wal: file shorter than header")
+	if base, err = parseWALHeader(data); err != nil {
+		return 0, nil, 0, err
 	}
-	if string(data[:4]) != walMagic {
-		return 0, nil, 0, corruptf("wal: bad magic")
-	}
-	if v := binary.LittleEndian.Uint32(data[4:]); v != FormatVersion {
-		return 0, nil, 0, fmt.Errorf("%w: wal format %d, this build reads %d", ErrFormatVersion, v, FormatVersion)
-	}
-	base = int64(binary.LittleEndian.Uint64(data[8:]))
 	off := int64(walHeaderLen)
 	for {
-		rest := data[off:]
-		if len(rest) == 0 {
-			return base, recs, off, nil
-		}
-		if len(rest) < 4+1 {
-			// Torn header: the crash happened before even the length and
-			// type landed. Replay stops here.
-			return base, recs, off, nil
-		}
-		n := binary.LittleEndian.Uint32(rest)
-		total := int64(4 + 1 + int64(n) + 4)
-		if int64(len(rest)) < total {
-			// Torn record: fewer bytes on disk than the header promises.
-			return base, recs, off, nil
-		}
-		typ := rest[4]
-		payload := rest[5 : 5+n]
-		crc := crc32.NewIEEE()
-		crc.Write([]byte{typ})
-		crc.Write(payload)
-		if got := binary.LittleEndian.Uint32(rest[5+n:]); got != crc.Sum32() {
-			// The record is complete on disk but its bytes are wrong:
-			// that is corruption, not a torn write.
-			return 0, nil, 0, corruptf("wal: record at offset %d CRC mismatch", off)
-		}
-		rec, err := decodeWALRecord(typ, payload)
+		rec, n, err := scanRecord(data[off:], off)
 		if err != nil {
-			return 0, nil, 0, fmt.Errorf("wal record at offset %d: %w", off, err)
+			return 0, nil, 0, err
+		}
+		if n == 0 {
+			return base, recs, off, nil
 		}
 		recs = append(recs, rec)
-		off += total
+		off += n
 	}
 }
 

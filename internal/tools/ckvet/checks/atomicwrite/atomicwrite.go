@@ -8,9 +8,11 @@
 // ("a snapshot that exists is a snapshot that decodes").
 //
 // Findings: any call to os.Create, os.WriteFile or os.Rename outside
-// the writeSnapshotFile helper. os.OpenFile is deliberately not in the
-// set — the WAL opens files for append with its own explicit fsync
-// schedule, and the tmp file inside writeSnapshotFile is created with
+// the atomic helpers: writeSnapshotFile (encode + land) and
+// writeFileAtomic (the protocol itself, also used to install raw
+// replica snapshot bytes verbatim). os.OpenFile is deliberately not in
+// the set — the WAL opens files for append with its own explicit fsync
+// schedule, and the tmp file inside writeFileAtomic is created with
 // it; neither is a whole-file replacement.
 package atomicwrite
 
@@ -27,9 +29,14 @@ var Analyzer = &analysis.Analyzer{
 	Run:  run,
 }
 
-// atomicHelper is the one function allowed to call the raw os file
-// operations: it implements the atomic-replace protocol.
-const atomicHelper = "writeSnapshotFile"
+// atomicHelpers names the functions allowed to call the raw os file
+// operations: writeFileAtomic implements the atomic-replace protocol
+// and writeSnapshotFile is its encode-then-land wrapper (kept in the
+// set so the testdata contract and older store code keep vetting).
+var atomicHelpers = map[string]bool{
+	"writeSnapshotFile": true,
+	"writeFileAtomic":   true,
+}
 
 // flagged names the os functions that replace or publish whole files.
 var flagged = map[string]bool{
@@ -41,7 +48,7 @@ var flagged = map[string]bool{
 func run(pass *analysis.Pass) (any, error) {
 	for _, file := range pass.Files {
 		analysis.EnclosingFuncs(file, func(name string, body *ast.BlockStmt) {
-			if name == atomicHelper {
+			if atomicHelpers[name] {
 				return
 			}
 			ast.Inspect(body, func(n ast.Node) bool {
@@ -52,8 +59,8 @@ func run(pass *analysis.Pass) (any, error) {
 				pkg, fn := analysis.PkgFunc(pass.TypesInfo, call)
 				if pkg == "os" && flagged[fn] {
 					pass.Reportf(call.Pos(),
-						"os.%s bypasses the atomic write protocol; route the write through %s (tmp+fsync+rename+dir sync)",
-						fn, atomicHelper)
+						"os.%s bypasses the atomic write protocol; route the write through writeFileAtomic (tmp+fsync+rename+dir sync)",
+						fn)
 				}
 				return true
 			})

@@ -29,6 +29,16 @@ func writeSnapshotFile(path string, data []byte) error {
 	return os.Rename(tmp, path)
 }
 
+// writeFileAtomic stands in for the raw-bytes variant of the protocol
+// (replica snapshot installs); equally exempt.
+func writeFileAtomic(path string, data []byte) error {
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
 // badWriteFile publishes a whole file with no fsync or rename.
 func badWriteFile(path string, data []byte) error {
 	return os.WriteFile(path, data, 0o644) // want `os.WriteFile bypasses the atomic write protocol`
@@ -54,6 +64,11 @@ func goodAppendOpen(dir string) (*os.File, error) {
 // goodViaHelper routes the replacement through the protocol.
 func goodViaHelper(path string, data []byte) error {
 	return writeSnapshotFile(path, data)
+}
+
+// goodViaRawHelper routes raw bytes through the protocol.
+func goodViaRawHelper(path string, data []byte) error {
+	return writeFileAtomic(path, data)
 }
 
 // suppressedScratch writes a throwaway file whose loss is harmless.

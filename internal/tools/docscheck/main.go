@@ -3,7 +3,8 @@
 // and docs/*.md resolves to an existing file (and every same-file #anchor
 // to a real heading), and (2) asserts exported-symbol doc-comment coverage
 // for the public ckprivacy package, internal/server, internal/store,
-// internal/anonymize, internal/bucket and the ckvet suite — every exported
+// internal/replica, internal/anonymize, internal/bucket and the ckvet
+// suite — every exported
 // type, function, method, constant and variable must carry a doc comment,
 // so pkg.go.dev never renders a bare name. It exits non-zero listing every
 // offender.
@@ -26,6 +27,9 @@ func main() {
 	problems = append(problems, checkDocComments(".", "ckprivacy")...)
 	problems = append(problems, checkDocComments("internal/server", "server")...)
 	problems = append(problems, checkDocComments("internal/store", "store")...)
+	// The follower client speaks the leader's replication wire contract
+	// across process boundaries; its exported surface stays documented.
+	problems = append(problems, checkDocComments("internal/replica", "replica")...)
 	// The sweep planner and the arena pool cross goroutine and package
 	// boundaries on documented contracts; keep those contracts written.
 	problems = append(problems, checkDocComments("internal/anonymize", "anonymize")...)
